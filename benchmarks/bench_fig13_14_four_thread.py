@@ -1,0 +1,37 @@
+"""Figures 13/14: STP and ANTT of the six policies on four-thread
+workloads (Table III).
+
+Paper: results mirror the two-thread case; the MLP-aware flush policy has
+the best ANTT overall (12.4% better than ICOUNT, 9.5% better than flush)
+with STP comparable to flush (~16% over ICOUNT).
+"""
+
+from bench_common import (
+    bench_commits,
+    bench_config,
+    four_thread_workloads,
+    print_header,
+)
+
+from repro.experiments import compare_policies, summarize_policies
+from repro.experiments.policy_comparison import format_summary
+from repro.policies import MAIN_COMPARISON
+
+
+def run_four_thread():
+    cfg = bench_config(num_threads=4)
+    budget = bench_commits(6_000)
+    workloads = four_thread_workloads()
+    cells = compare_policies(workloads, MAIN_COMPARISON, cfg, budget)
+    return summarize_policies(cells, workloads, MAIN_COMPARISON)
+
+
+def test_fig13_14_four_thread_policies(benchmark):
+    summary = benchmark.pedantic(run_four_thread, rounds=1, iterations=1)
+    print_header("Figures 13/14 — 4-thread STP & ANTT by policy")
+    print(format_summary(summary))
+    print("\npaper: mlp_flush ANTT 12.4% better than ICOUNT, 9.5% better "
+          "than flush; STP ~flush ~16% over ICOUNT")
+    assert summary["mlp_flush"][1] < summary["icount"][1], \
+        "MLP-aware flush must improve turnaround over ICOUNT"
+    assert summary["mlp_flush"][0] > summary["icount"][0] * 0.95

@@ -1,0 +1,40 @@
+"""Figures 15/16: STP and ANTT versus main-memory latency (200..800).
+
+Paper: the MLP-aware flush policy's advantage over ICOUNT *grows* with
+memory latency — the longer a stalled thread would hold resources, the
+more valuable releasing them becomes.
+"""
+
+from bench_common import bench_commits, bench_config, print_header
+
+from repro.experiments import memory_latency_sweep
+
+WORKLOADS = (("swim", "twolf"), ("vpr", "mcf"), ("fma3d", "twolf"))
+POLICIES = ("icount", "stall", "flush", "mlp_flush")
+LATENCIES = (200, 400, 600, 800)
+
+
+def run_memlat_sweep():
+    return memory_latency_sweep(WORKLOADS, POLICIES, latencies=LATENCIES,
+                                cfg=bench_config(2),
+                                max_commits=bench_commits(6_000))
+
+
+def test_fig15_16_memory_latency(benchmark):
+    results = benchmark.pedantic(run_memlat_sweep, rounds=1, iterations=1)
+    print_header("Figures 15/16 — STP & ANTT vs memory latency "
+                 "(relative to ICOUNT at each point)")
+    print(f"{'latency':<8}" + "".join(f"{p:>22}" for p in POLICIES))
+    for lat in LATENCIES:
+        row = "".join(
+            f"  {results[lat][p][0]:>8.3f}/{results[lat][p][1]:>9.3f}"
+            for p in POLICIES)
+        print(f"{lat:<8}{row}")
+    print("(each cell: STP-ratio / ANTT-ratio vs ICOUNT; STP>1 and ANTT<1 "
+          "are better)")
+
+    # Shape: mlp_flush still beats ICOUNT at the longest latency, and its
+    # STP advantage does not shrink from the shortest to longest latency.
+    first, last = results[LATENCIES[0]], results[LATENCIES[-1]]
+    assert last["mlp_flush"][0] > 1.0
+    assert last["mlp_flush"][0] >= first["mlp_flush"][0] * 0.9

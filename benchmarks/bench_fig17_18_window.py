@@ -1,0 +1,39 @@
+"""Figures 17/18: STP and ANTT versus processor window size (ROB 128..1024,
+with LSQ/issue queues/rename registers scaled proportionally).
+
+Paper: long-latency-aware policies help *more* with fewer resources, while
+MLP-aware policies gain on their non-MLP-aware counterparts as the window
+grows (bigger windows expose more MLP worth preserving).
+"""
+
+from bench_common import bench_commits, bench_config, print_header
+
+from repro.experiments import window_size_sweep
+
+WORKLOADS = (("swim", "twolf"), ("vpr", "mcf"), ("fma3d", "twolf"))
+POLICIES = ("icount", "flush", "mlp_flush")
+SIZES = (128, 256, 512, 1024)
+
+
+def run_window_sweep():
+    return window_size_sweep(WORKLOADS, POLICIES, rob_sizes=SIZES,
+                             cfg=bench_config(2),
+                             max_commits=bench_commits(6_000))
+
+
+def test_fig17_18_window_size(benchmark):
+    results = benchmark.pedantic(run_window_sweep, rounds=1, iterations=1)
+    print_header("Figures 17/18 — STP & ANTT vs window size "
+                 "(relative to ICOUNT at each point)")
+    print(f"{'ROB':<6}" + "".join(f"{p:>22}" for p in POLICIES))
+    for size in SIZES:
+        row = "".join(
+            f"  {results[size][p][0]:>8.3f}/{results[size][p][1]:>9.3f}"
+            for p in POLICIES)
+        print(f"{size:<6}{row}")
+    print("(each cell: STP-ratio / ANTT-ratio vs ICOUNT)")
+
+    # Shape: MLP-aware flush's ANTT advantage over blind flush should not
+    # disappear as the window grows (more MLP to preserve).
+    big = results[SIZES[-1]]
+    assert big["mlp_flush"][1] <= big["flush"][1] * 1.05

@@ -1,0 +1,50 @@
+"""Figures 20/21: the five alternative MLP-aware fetch policies.
+
+(a) flush, (b) MLP distance + flush, (c) binary MLP + flush,
+(d) MLP distance + flush at resource stall, (e) binary MLP + flush at
+resource stall.
+
+Paper findings: distance prediction beats binary prediction ((b) > (c),
+(d) > (e) in general); (d) wins for MLP-intensive pairs (flushing at
+resource stalls frees everything for the co-runner while in-flight misses
+still overlap — the prefetch effect), while (b) is the better option for
+mixed pairs.
+"""
+
+from bench_common import (
+    bench_commits,
+    bench_config,
+    print_header,
+    two_thread_groups,
+)
+
+from repro.experiments import compare_policies, summarize_policies
+from repro.experiments.policy_comparison import format_summary
+from repro.policies import ALTERNATIVES
+
+
+def run_alternatives():
+    cfg = bench_config(2)
+    budget = bench_commits()
+    groups = two_thread_groups()
+    results = {}
+    for label in ("MLP", "MIX"):
+        workloads = groups[label]
+        cells = compare_policies(workloads, ALTERNATIVES, cfg, budget)
+        results[label] = summarize_policies(cells, workloads, ALTERNATIVES)
+    return results
+
+
+def test_fig20_21_alternatives(benchmark):
+    results = benchmark.pedantic(run_alternatives, rounds=1, iterations=1)
+    print_header("Figures 20/21 — alternative MLP-aware policies "
+                 "(a=flush, b=mlp_flush, c=binary_mlp_flush, "
+                 "d=mlp_flush_rs, e=binary_mlp_flush_rs)")
+    for label, summary in results.items():
+        print(f"\n[{label} workloads]")
+        print(format_summary(summary, baseline="flush"))
+
+    # Shape: distance-based (b) must not lose to its binary variant (c)
+    # on ANTT for MLP-heavy workloads.
+    mlp = results["MLP"]
+    assert mlp["mlp_flush"][1] <= mlp["binary_mlp_flush"][1] * 1.10

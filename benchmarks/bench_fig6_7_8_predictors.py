@@ -1,0 +1,44 @@
+"""Figures 6/7/8: predictor accuracy.
+
+* Figure 6 — long-latency load predictor: correct hit/miss predictions per
+  load (paper: >=94%, average 99.4%) and correct miss predictions per miss
+  (>=85% for memory-intensive codes; mcf is the hard case at 59%).
+* Figure 7 — binary MLP/no-MLP prediction accuracy (paper average 91.5%).
+* Figure 8 — "far enough" MLP distance accuracy (paper average 87.8%).
+"""
+
+from bench_common import bench_commits, print_header
+
+from repro.experiments.profile import profile_benchmark
+from repro.workloads import TABLE_I
+
+
+def run_predictor_accuracy():
+    budget = bench_commits(12_000)
+    return {name: profile_benchmark(name, max_commits=budget)
+            for name in sorted(TABLE_I)}
+
+
+def test_fig6_7_8_predictor_accuracy(benchmark):
+    profiles = benchmark.pedantic(run_predictor_accuracy, rounds=1,
+                                  iterations=1)
+    print_header("Figures 6/7/8 — predictor accuracies")
+    print(f"{'benchmark':<10} {'LLL acc':>8} {'miss acc':>9} "
+          f"{'MLP binary':>11} {'MLP dist':>9}")
+    for name, p in profiles.items():
+        print(f"{name:<10} {p.lll_accuracy:>7.1%} {p.lll_miss_accuracy:>8.1%} "
+              f"{p.mlp_binary_accuracy:>10.1%} {p.mlp_distance_accuracy:>8.1%}")
+
+    with_loads = [p for p in profiles.values() if p.stats.threads[0].lll_pred_loads]
+    avg_lll = sum(p.lll_accuracy for p in with_loads) / len(with_loads)
+    mlp_heavy = [p for name, p in profiles.items()
+                 if TABLE_I[name].category == "MLP"]
+    avg_binary = sum(p.mlp_binary_accuracy for p in mlp_heavy) / len(mlp_heavy)
+    avg_dist = sum(p.mlp_distance_accuracy for p in mlp_heavy) / len(mlp_heavy)
+    print(f"\naverage LLL hit/miss accuracy: {avg_lll:.1%}  (paper: 99.4%)")
+    print(f"average binary MLP accuracy (MLP codes): {avg_binary:.1%}  "
+          f"(paper: 91.5%)")
+    print(f"average far-enough distance accuracy (MLP codes): {avg_dist:.1%}"
+          f"  (paper: 87.8%)")
+    assert avg_lll > 0.90
+    assert avg_binary > 0.70

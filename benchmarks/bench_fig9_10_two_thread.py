@@ -1,0 +1,53 @@
+"""Figures 9/10: STP and ANTT of the six fetch policies on the two-thread
+workloads, by workload class (Table II).
+
+Paper headlines (2-thread):
+* MLP-intensive:  MLP-aware flush +20.2% STP / -21.0% ANTT vs ICOUNT.
+* Mixed ILP/MLP:  MLP-aware flush +22.4% STP / -19.2% ANTT vs ICOUNT,
+  +4.0% STP / -13.9% ANTT vs flush.
+* ILP-intensive:  MLP-aware flush ~ flush, +6.4% STP vs ICOUNT.
+"""
+
+from bench_common import (
+    bench_commits,
+    bench_config,
+    print_header,
+    two_thread_groups,
+)
+
+from repro.experiments import compare_policies, summarize_policies
+from repro.experiments.policy_comparison import format_summary
+from repro.policies import MAIN_COMPARISON
+
+
+def run_two_thread_comparison():
+    cfg = bench_config(num_threads=2)
+    budget = bench_commits()
+    results = {}
+    for label, workloads in two_thread_groups().items():
+        cells = compare_policies(workloads, MAIN_COMPARISON, cfg, budget)
+        results[label] = summarize_policies(cells, workloads,
+                                            MAIN_COMPARISON)
+    return results
+
+
+def test_fig9_10_two_thread_policies(benchmark):
+    results = benchmark.pedantic(run_two_thread_comparison, rounds=1,
+                                 iterations=1)
+    print_header("Figures 9/10 — 2-thread STP & ANTT by policy and class")
+    for label, summary in results.items():
+        print(f"\n[{label}-intensive workloads]")
+        print(format_summary(summary))
+
+    mlp = results["MLP"]
+    mix = results["MIX"]
+    ilp = results["ILP"]
+    # Paper shape: the MLP-aware flush policy posts the best ANTT of all
+    # policies for MLP and mixed workloads...
+    assert mlp["mlp_flush"][1] <= min(v[1] for v in mlp.values()) * 1.10
+    assert mix["mlp_flush"][1] <= min(v[1] for v in mix.values()) * 1.05
+    # ...beats ICOUNT on throughput for MLP and mixed workloads...
+    assert mlp["mlp_flush"][0] > mlp["icount"][0]
+    assert mix["mlp_flush"][0] > mix["icount"][0]
+    # ...and is within noise of flush on pure-ILP workloads.
+    assert abs(ilp["mlp_flush"][0] - ilp["flush"][0]) / ilp["flush"][0] < 0.10

@@ -1,0 +1,28 @@
+"""Table I / Figure 1: per-benchmark MLP characterization.
+
+Regenerates, for all 26 SPEC CPU2000 analogs on the single-threaded
+baseline machine: long-latency loads per 1K instructions, MLP (Chou et
+al.), the MLP impact of serializing independent misses, and the resulting
+ILP/MLP classification — side by side with the paper's published values.
+"""
+
+from bench_common import bench_commits, print_header
+
+from repro.experiments.characterize import characterize, format_table
+from repro.workloads import TABLE_I
+
+
+def run_characterization():
+    rows = characterize(max_commits=bench_commits(12_000))
+    matches = sum(r.category_matches_paper for r in rows)
+    return rows, matches
+
+
+def test_table1_fig1(benchmark):
+    rows, matches = benchmark.pedantic(run_characterization, rounds=1,
+                                       iterations=1)
+    print_header("Table I / Figure 1 — MLP characterization (measured vs paper)")
+    print(format_table(rows))
+    print(f"\nILP/MLP classification agreement: {matches}/{len(rows)} "
+          f"benchmarks match the paper")
+    assert matches >= len(TABLE_I) - 3

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Make bench_common importable when pytest sets rootdir elsewhere.
+sys.path.insert(0, str(Path(__file__).parent))

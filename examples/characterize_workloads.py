@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Characterize benchmarks for memory-level parallelism (paper Section 2).
+
+Reproduces the Table I methodology on any subset of the 26 SPEC CPU2000
+analogs: measure the long-latency load rate, the MLP (average overlapping
+long-latency loads), and the *MLP impact* — the slowdown when independent
+misses are artificially serialized — then classify each program as ILP- or
+MLP-intensive.
+
+Usage:
+    python examples/characterize_workloads.py [bench ...]
+    python examples/characterize_workloads.py mcf swim crafty
+"""
+
+import sys
+
+from repro.experiments.characterize import characterize, format_table
+
+DEFAULT_SET = ("mcf", "swim", "equake", "lucas", "wupwise",
+               "crafty", "vortex", "gzip")
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(DEFAULT_SET)
+    print(f"characterizing: {', '.join(names)} "
+          f"(single-threaded, no prefetcher, per the paper's Table I)")
+    print()
+    rows = characterize(names=names, max_commits=12_000)
+    print(format_table(rows))
+    print()
+    mlp_like = [r.name for r in rows if r.category == "MLP"]
+    print(f"MLP-intensive (serialization costs >10% of performance): "
+          f"{', '.join(mlp_like) if mlp_like else 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Build your own benchmark analog and measure how fetch policies treat it.
+
+The synthetic workload generator is a public API: a
+:class:`repro.workloads.BenchmarkSpec` describes a loop body from
+composable kernels (independent streams for regular MLP, pointer-chase
+chains for dependent misses, random bursts for clustered irregular MLP)
+and the trace generator turns it into a deterministic instruction stream.
+
+This example constructs two custom programs with identical miss *rates*
+but opposite miss *structure* — one all-independent (MLP-rich), one
+all-dependent (no exploitable MLP).  It demonstrates two of the paper's
+points at once:
+
+* MLP-aware flush keeps the parallel-miss program's window open while
+  blind flush serializes it (§4.3);
+* the plain LLSR *overestimates* the serial program's MLP — dependent
+  misses ~30 instructions apart look like an MLP distance of 30 — so the
+  policy grants a useless window and the co-runner suffers; §4.2 names
+  this exact problem and the ``dependence_aware`` LLSR extension fixes it.
+
+Usage:
+    python examples/custom_benchmark.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments import default_config
+from repro.experiments.runner import stable_seed
+from repro.pipeline import SMTCore
+from repro.policies import make_policy
+from repro.report import format_table
+from repro.workloads import BenchmarkSpec, SyntheticTrace
+
+#: Four independent streaming arrays: misses cluster and overlap.
+PARALLEL_MISSES = BenchmarkSpec(
+    name="custom_parallel",
+    streams=4, stream_stride=16, stream_footprint=2.0,
+    int_ops=12, hot_loads=4, stores=1, cond_branches=1,
+)
+
+#: One pointer chase with consumers: every miss depends on the previous.
+SERIAL_MISSES = BenchmarkSpec(
+    name="custom_serial",
+    chase_chains=1, chase_every=1, chase_dependents=4,
+    int_ops=18, hot_loads=4, stores=1, cond_branches=1,
+)
+
+
+def run(spec: BenchmarkSpec, co_spec: BenchmarkSpec, policy: str,
+        dep_aware: bool = False):
+    cfg = default_config(num_threads=2)
+    if dep_aware:
+        cfg = replace(cfg, predictors=replace(cfg.predictors,
+                                              dependence_aware=True))
+    traces = [
+        SyntheticTrace(spec, cfg.memory, seed=stable_seed(spec.name),
+                       base=1 << 48, pc_base=1 << 20),
+        SyntheticTrace(co_spec, cfg.memory, seed=stable_seed(co_spec.name),
+                       base=2 << 48, pc_base=2 << 20),
+    ]
+    core = SMTCore(cfg, traces, make_policy(policy))
+    stats = core.run(8_000, warmup=2_000)
+    return stats, core
+
+
+VARIANTS = (
+    ("flush", False, "flush"),
+    ("mlp_flush", False, "mlp_flush"),
+    ("mlp_flush", True, "mlp_flush+dep"),
+)
+
+
+def main() -> None:
+    co = BenchmarkSpec(name="custom_compute", int_ops=16, fp_ops=8,
+                       hot_loads=4, stores=1, cond_branches=2)
+    rows = []
+    for spec in (PARALLEL_MISSES, SERIAL_MISSES):
+        for policy, dep_aware, label in VARIANTS:
+            stats, core = run(spec, co, policy, dep_aware)
+            t0 = stats.threads[0]
+            rows.append((spec.name, label, f"{stats.ipc(0):.3f}",
+                         f"{stats.ipc(1):.3f}", f"{stats.mlp:.2f}",
+                         t0.squashed))
+    print("two custom programs, same miss rate, opposite structure,")
+    print("each paired with the same compute-bound co-runner:\n")
+    print(format_table(
+        ("program", "policy", "IPC(mem)", "IPC(co)", "MLP", "squashed"),
+        rows))
+    print()
+    print("Reading: on the parallel-miss program, mlp_flush keeps the")
+    print("miss window open (memory-thread IPC several times blind")
+    print("flush's).  On the serial-miss program the plain LLSR is")
+    print("fooled — dependent misses 30 apart measure as distance 30 —")
+    print("so mlp_flush grants a useless window and the co-runner")
+    print("collapses; the §4.2 dependence-aware LLSR (mlp_flush+dep)")
+    print("suppresses dependent loads and restores the co-runner.")
+
+
+if __name__ == "__main__":
+    main()

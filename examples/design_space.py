@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Microarchitecture design-space exploration (paper Figures 15-18).
+
+Sweeps main-memory latency and out-of-order window size, and reports how
+ICOUNT, flush, and MLP-aware flush respond — the paper's key insight being
+that MLP awareness pays off more as latencies and windows grow.
+
+Usage:
+    python examples/design_space.py [memlat|window]
+"""
+
+import sys
+
+from repro.experiments import (
+    default_config,
+    memory_latency_sweep,
+    window_size_sweep,
+)
+
+WORKLOADS = (("swim", "twolf"), ("vpr", "mcf"))
+POLICIES = ("icount", "flush", "mlp_flush")
+
+
+def show(results, axis_label):
+    policies = next(iter(results.values())).keys()
+    print(f"{axis_label:<8}" + "".join(f"{p:>24}" for p in policies))
+    for point, summary in results.items():
+        cells = "".join(f"   STP×{summary[p][0]:5.3f} ANTT×{summary[p][1]:5.3f}"
+                        for p in policies)
+        print(f"{point:<8}{cells}")
+    print("(ratios vs ICOUNT at the same design point; STP>1 / ANTT<1 better)")
+
+
+def main() -> None:
+    which = (sys.argv[1] if len(sys.argv) > 1 else "memlat").lower()
+    cfg = default_config(num_threads=2)
+    if which == "memlat":
+        print("sweeping main-memory latency (Figures 15/16)...")
+        results = memory_latency_sweep(WORKLOADS, POLICIES,
+                                       latencies=(200, 400, 600, 800),
+                                       cfg=cfg, max_commits=5_000)
+        show(results, "latency")
+    elif which == "window":
+        print("sweeping window size (Figures 17/18)...")
+        results = window_size_sweep(WORKLOADS, POLICIES,
+                                    rob_sizes=(128, 256, 512),
+                                    cfg=cfg, max_commits=5_000)
+        show(results, "ROB")
+    else:
+        raise SystemExit("pick 'memlat' or 'window'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Full fetch-policy shoot-out on a workload class (paper Figures 9/10).
+
+Evaluates all nineteen implemented policies — the paper's six-way main
+comparison, the Section 6.5 alternatives, the two partitioning schemes,
+and the related-work/future-work extensions (DG/PDG, learning, MLP-aware
+DCRA, CGMT, runahead) — on a group of two-thread workloads, and reports
+STP (harmonic mean) and ANTT (arithmetic mean) per policy.
+
+Usage:
+    python examples/policy_shootout.py [ILP|MLP|MIX]
+"""
+
+import sys
+
+from repro.experiments import (
+    compare_policies,
+    default_config,
+    summarize_policies,
+)
+from repro.experiments.policy_comparison import format_summary
+from repro.policies import POLICIES
+
+GROUPS = {
+    "ILP": (("vortex", "parser"), ("crafty", "twolf")),
+    "MLP": (("mcf", "swim"), ("lucas", "fma3d"), ("swim", "mesa")),
+    "MIX": (("swim", "twolf"), ("vpr", "mcf"), ("equake", "perlbmk")),
+}
+
+
+def main() -> None:
+    label = (sys.argv[1] if len(sys.argv) > 1 else "MIX").upper()
+    if label not in GROUPS:
+        raise SystemExit(f"unknown group {label!r}; pick from {list(GROUPS)}")
+    workloads = GROUPS[label]
+    policies = tuple(sorted(POLICIES))
+    print(f"{label} workloads: "
+          + ", ".join("-".join(w) for w in workloads))
+    print(f"policies: {', '.join(policies)}")
+    print()
+    cells = compare_policies(workloads, policies,
+                             default_config(num_threads=2),
+                             max_commits=8_000,
+                             progress=print)
+    print()
+    summary = summarize_policies(cells, workloads, policies)
+    print(format_summary(summary))
+
+
+if __name__ == "__main__":
+    main()

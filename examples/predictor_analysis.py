@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Inspect the paper's predictors on a single benchmark (Sections 4.1-4.2).
+
+Shows, for one program: the front-end long-latency load predictor's
+accuracy (Figure 6), the MLP distance predictor's binary and far-enough
+accuracy (Figures 7/8), and the measured MLP distance distribution that
+the LLSR feeds it (Figure 4).
+
+Usage:
+    python examples/predictor_analysis.py [benchmark]
+"""
+
+import sys
+
+from repro.experiments.profile import profile_benchmark
+from repro.workloads import BENCHMARKS
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    if name not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; "
+                         f"known: {', '.join(sorted(BENCHMARKS))}")
+    print(f"profiling {name} (single-threaded, 128-entry LLSR)...")
+    p = profile_benchmark(name, max_commits=15_000)
+
+    print(f"\nIPC: {p.ipc:.3f}   long-latency loads/1K: {p.lll_per_kilo:.2f}"
+          f"   MLP: {p.mlp:.2f}")
+
+    print("\n-- long-latency load predictor (Figure 6) --")
+    print(f"hit/miss accuracy per load : {p.lll_accuracy:.1%}")
+    print(f"miss accuracy per miss     : {p.lll_miss_accuracy:.1%}")
+
+    print("\n-- MLP predictor (Figures 7/8) --")
+    for k, v in p.mlp_fractions.items():
+        print(f"{k:<10}: {v:.1%}")
+    print(f"binary accuracy            : {p.mlp_binary_accuracy:.1%}")
+    print(f"far-enough distance        : {p.mlp_distance_accuracy:.1%}")
+
+    print("\n-- measured MLP distance CDF (Figure 4) --")
+    for point, frac in p.distance_cdf([0, 16, 32, 48, 64, 96, 127]):
+        bar = "#" * int(frac * 40)
+        print(f"<= {point:>3}: {frac:>6.1%} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: keeps `pip install -e .` working on environments whose
+setuptools lacks PEP 660 editable-wheel support (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — MLP-aware fetch policies for SMT processors.
+
+A from-scratch reproduction of Eyerman & Eeckhout, "A Memory-Level
+Parallelism Aware Fetch Policy for SMT Processors" (HPCA 2007; extended in
+ACM TACO 6(1), 2009).  The package contains:
+
+* :mod:`repro.pipeline` — a cycle-level out-of-order SMT processor model
+  (the SMTSIM substitute; Table IV machine).
+* :mod:`repro.memory`, :mod:`repro.branch` — caches, TLBs, MSHRs, a
+  stream-buffer prefetcher, gshare and BTB.
+* :mod:`repro.predictors` — the paper's long-latency load predictors, the
+  LLSR, and the MLP distance predictor.
+* :mod:`repro.policies` — ICOUNT, stall/flush (Tullsen & Brown), predictive
+  stall (Cazorla), the MLP-aware stall/flush policies, the Section 6.5
+  alternatives, static partitioning and DCRA.
+* :mod:`repro.workloads` — synthetic SPEC CPU2000 analogs calibrated to
+  Table I, plus the paper's Table II/III workload mixes.
+* :mod:`repro.metrics` — STP and ANTT.
+* :mod:`repro.experiments` — drivers that regenerate every table and
+  figure of the evaluation.
+
+Quickstart::
+
+    from repro.config import scaled_config
+    from repro.experiments import evaluate_workload
+
+    cfg = scaled_config(num_threads=2)
+    for policy in ("icount", "flush", "mlp_flush"):
+        r = evaluate_workload(("mcf", "galgel"), cfg, policy,
+                              max_commits=10_000)
+        print(f"{policy:>10}: STP={r.stp:.3f} ANTT={r.antt:.3f}")
+"""
+
+from repro.config import (
+    MemoryConfig,
+    PredictorConfig,
+    PrefetcherConfig,
+    SMTConfig,
+    paper_baseline,
+    scaled_config,
+    with_memory_latency,
+    with_window_size,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MemoryConfig",
+    "PredictorConfig",
+    "PrefetcherConfig",
+    "SMTConfig",
+    "__version__",
+    "paper_baseline",
+    "scaled_config",
+    "with_memory_latency",
+    "with_window_size",
+]

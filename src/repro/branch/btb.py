@@ -1,0 +1,40 @@
+"""256-entry 4-way set-associative branch target buffer (Table IV).
+
+The simulator is trace-driven (targets are always architecturally known), so
+the BTB contributes timing only: a taken branch that misses the BTB pays the
+misprediction redirect because the front end cannot follow it.
+"""
+
+from __future__ import annotations
+
+
+class BTB:
+    __slots__ = ("_sets", "_num_sets", "_assoc", "_stamp", "hits", "misses")
+
+    def __init__(self, entries: int = 256, assoc: int = 4):
+        if entries % assoc:
+            raise ValueError("entries must divide evenly into ways")
+        self._num_sets = entries // assoc
+        self._assoc = assoc
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self._num_sets)]
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> bool:
+        """True when the branch has a BTB entry (target known at fetch)."""
+        s = self._sets[pc % self._num_sets]
+        self._stamp += 1
+        if pc in s:
+            s[pc] = self._stamp
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, pc: int) -> None:
+        s = self._sets[pc % self._num_sets]
+        self._stamp += 1
+        if pc not in s and len(s) >= self._assoc:
+            del s[min(s, key=s.get)]
+        s[pc] = self._stamp

@@ -1,0 +1,57 @@
+"""2K-entry gshare direction predictor (Table IV).
+
+The pattern-history table (2-bit saturating counters) is shared between
+hardware threads, as in real SMT front ends; the global-history register is
+per-thread — interleaving two threads' outcomes into one history register
+would destroy both threads' predictability.
+"""
+
+from __future__ import annotations
+
+
+class GShare:
+    """Global-history XOR PC indexed table of 2-bit saturating counters."""
+
+    __slots__ = ("_table", "_entries", "_history", "_history_mask",
+                 "predictions", "mispredictions")
+
+    def __init__(self, entries: int = 2048, num_threads: int = 1):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("gshare entries must be a positive power of two")
+        if num_threads < 1:
+            raise ValueError("need at least one thread")
+        self._entries = entries
+        self._table = [2] * entries      # weakly taken
+        self._history = [0] * num_threads
+        self._history_mask = entries - 1
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int, thread: int = 0) -> bool:
+        idx = (pc ^ self._history[thread]) & self._history_mask
+        return self._table[idx] >= 2
+
+    def update(self, pc: int, taken: bool, thread: int = 0) -> bool:
+        """Predict-and-train on one resolved branch; returns the prediction."""
+        history = self._history[thread]
+        idx = (pc ^ history) & self._history_mask
+        counter = self._table[idx]
+        prediction = counter >= 2
+        if taken:
+            if counter < 3:
+                self._table[idx] = counter + 1
+        else:
+            if counter > 0:
+                self._table[idx] = counter - 1
+        self._history[thread] = ((history << 1) | int(taken)) \
+            & self._history_mask
+        self.predictions += 1
+        if prediction != taken:
+            self.mispredictions += 1
+        return prediction
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

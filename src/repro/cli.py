@@ -1,0 +1,209 @@
+"""``python -m repro`` — run the paper's experiments from the terminal.
+
+Subcommands:
+
+* ``list``          — benchmarks (with Table I targets) and fetch policies
+* ``characterize``  — Table I / Figure 1 rows for chosen benchmarks
+* ``compare``       — STP/ANTT policy comparison on one or more workloads
+* ``mlp-cdf``       — Figure 4: measured MLP distance CDFs
+* ``figure``        — regenerate a whole paper figure by id (see
+  ``python -m repro figure`` for targets)
+* ``sweep``         — memory-latency or window-size sweeps (Figures 15–18)
+
+Every command accepts ``--commits`` to trade accuracy for runtime; the
+defaults match the benchmark harness (see ``repro.experiments.defaults``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.experiments import (
+    compare_policies,
+    default_commits,
+    default_config,
+    memory_latency_sweep,
+    summarize_policies,
+    window_size_sweep,
+)
+from repro.experiments.characterize import characterize
+from repro.experiments.profile import profile_benchmark
+from repro.policies import MAIN_COMPARISON, POLICIES
+from repro.report import cdf_chart, format_table, hbar_chart
+from repro.workloads import TABLE_I
+from repro.workloads.mixes import workload_category
+
+
+def _split(arg: str) -> tuple[str, ...]:
+    return tuple(x.strip() for x in arg.split(",") if x.strip())
+
+
+def _parse_workloads(args: Sequence[str]) -> list[tuple[str, ...]]:
+    workloads = [_split(a) for a in args]
+    sizes = {len(w) for w in workloads}
+    if len(sizes) != 1:
+        raise SystemExit("all workloads must have the same thread count")
+    for w in workloads:
+        for name in w:
+            if name not in TABLE_I:
+                raise SystemExit(f"unknown benchmark {name!r}; "
+                                 f"see `python -m repro list`")
+    return workloads
+
+
+# --------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------- #
+
+def cmd_list(_args) -> int:
+    rows = [(name, t.lll_per_kilo, t.mlp, f"{t.mlp_impact:.1%}", t.category)
+            for name, t in sorted(TABLE_I.items())]
+    print(format_table(
+        ("benchmark", "LLL/1K", "MLP", "impact", "class"), rows))
+    print()
+    print("policies:")
+    for name, cls in POLICIES.items():
+        doc = (cls.__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else cls.__name__
+        print(f"  {name:<20} {summary}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    names = list(_split(args.benchmarks)) if args.benchmarks else None
+    rows = characterize(names=names, max_commits=args.commits)
+    table_rows = [
+        (r.name, r.lll_per_kilo, r.mlp, f"{r.mlp_impact:.1%}", r.category,
+         f"{r.paper_lll_per_kilo:.2f}", f"{r.paper_mlp:.2f}",
+         f"{r.paper_mlp_impact:.1%}", r.paper_category)
+        for r in rows
+    ]
+    print(format_table(
+        ("benchmark", "LLL/1K", "MLP", "impact", "class",
+         "LLL(paper)", "MLP(paper)", "impact(paper)", "class(paper)"),
+        table_rows))
+    matches = sum(r.category_matches_paper for r in rows)
+    print(f"\nclass agreement with the paper: {matches}/{len(rows)}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workloads = _parse_workloads(args.workload)
+    policies = _split(args.policies) if args.policies else MAIN_COMPARISON
+    for p in policies:
+        if p not in POLICIES:
+            raise SystemExit(f"unknown policy {p!r}")
+    cfg = default_config(num_threads=len(workloads[0]))
+    cells = compare_policies(workloads, policies, cfg, args.commits,
+                             progress=print if args.verbose else None)
+    summary = summarize_policies(cells, workloads, policies)
+    categories = {w: workload_category(w) for w in workloads}
+    print(f"\nworkloads: " + ", ".join(
+        f"{'-'.join(w)} [{categories[w]}]" for w in workloads))
+    print()
+    print(hbar_chart([(p, s) for p, (s, _) in summary.items()],
+                     title="STP (higher is better)"))
+    print()
+    print(hbar_chart([(p, a) for p, (_, a) in summary.items()],
+                     title="ANTT (lower is better)"))
+    return 0
+
+
+def cmd_mlp_cdf(args) -> int:
+    names = (_split(args.benchmarks) if args.benchmarks
+             else ("mcf", "fma3d", "equake", "lucas"))
+    samples = {}
+    for name in names:
+        profile = profile_benchmark(name, max_commits=args.commits)
+        samples[name] = [float(d) for d in profile.mlp_distances]
+    print(cdf_chart(samples, title="Figure 4 — measured MLP distance CDF",
+                    x_label="MLP distance (instructions)"))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments.figures import main as figure_main
+    argv = [args.target] if args.target else []
+    if args.budget:
+        argv.append(str(args.budget))
+    return figure_main(argv)
+
+
+def cmd_sweep(args) -> int:
+    workloads = (_parse_workloads(args.workload) if args.workload
+                 else [("swim", "twolf"), ("vpr", "mcf")])
+    policies = (_split(args.policies) if args.policies
+                else ("icount", "flush", "mlp_flush"))
+    sweep = (memory_latency_sweep if args.kind == "memlat"
+             else window_size_sweep)
+    results = sweep(workloads, policies, max_commits=args.commits)
+    x_name = "latency" if args.kind == "memlat" else "ROB"
+    header = (x_name, *[f"{p} STP" for p in results[next(iter(results))]],
+              *[f"{p} ANTT" for p in results[next(iter(results))]])
+    rows = []
+    for point, summary in results.items():
+        rows.append((str(point),
+                     *[f"{s:.3f}" for s, _ in summary.values()],
+                     *[f"{a:.3f}" for _, a in summary.values()]))
+    print(format_table(header, rows))
+    print("\n(all values relative to ICOUNT at the same design point)")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MLP-aware SMT fetch policy experiments "
+                    "(Eyerman & Eeckhout, HPCA 2007)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="benchmarks and policies").set_defaults(
+        fn=cmd_list)
+
+    p = sub.add_parser("characterize", help="Table I / Figure 1")
+    p.add_argument("-b", "--benchmarks", help="comma-separated names")
+    p.add_argument("-c", "--commits", type=int, default=None)
+    p.set_defaults(fn=cmd_characterize)
+
+    p = sub.add_parser("compare", help="policy STP/ANTT comparison")
+    p.add_argument("-w", "--workload", action="append", required=True,
+                   metavar="A,B[,C,D]", help="repeatable workload mix")
+    p.add_argument("-p", "--policies", help="comma-separated policy names")
+    p.add_argument("-c", "--commits", type=int, default=None)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("mlp-cdf", help="Figure 4 MLP distance CDFs")
+    p.add_argument("-b", "--benchmarks", help="comma-separated names")
+    p.add_argument("-c", "--commits", type=int, default=8_000)
+    p.set_defaults(fn=cmd_mlp_cdf)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure by id")
+    p.add_argument("target", nargs="?", help="e.g. table1, fig9, fig15")
+    p.add_argument("budget", nargs="?", type=int)
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("sweep", help="microarchitecture sweeps")
+    p.add_argument("kind", choices=("memlat", "window"))
+    p.add_argument("-w", "--workload", action="append",
+                   metavar="A,B", help="repeatable workload mix")
+    p.add_argument("-p", "--policies", help="comma-separated policy names")
+    p.add_argument("-c", "--commits", type=int, default=None)
+    p.set_defaults(fn=cmd_sweep)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.__dict__.get("commits") is None and hasattr(args, "commits"):
+        args.commits = default_commits(8_000)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+See DESIGN.md for the experiment index.  Each driver returns plain data
+(dataclasses / dicts) so that the benchmark harness, the examples, and the
+tests can all share them.
+"""
+
+from repro.experiments.defaults import (
+    default_commits,
+    default_config,
+    default_single_config,
+    scaled,
+)
+from repro.experiments.runner import (
+    SingleThreadResult,
+    WorkloadResult,
+    clear_baseline_cache,
+    evaluate_workload,
+    run_single,
+    run_workload,
+    single_thread_baseline,
+    trace_for,
+)
+from repro.experiments.characterize import CharacterizationRow, characterize
+from repro.experiments.profile import ProfileResult, profile_benchmark
+from repro.experiments.policy_comparison import (
+    PolicyCell,
+    compare_policies,
+    summarize_policies,
+)
+from repro.experiments.sweeps import memory_latency_sweep, window_size_sweep
+
+__all__ = [
+    "CharacterizationRow",
+    "PolicyCell",
+    "ProfileResult",
+    "SingleThreadResult",
+    "WorkloadResult",
+    "characterize",
+    "clear_baseline_cache",
+    "compare_policies",
+    "default_commits",
+    "default_config",
+    "default_single_config",
+    "evaluate_workload",
+    "memory_latency_sweep",
+    "profile_benchmark",
+    "run_single",
+    "run_workload",
+    "scaled",
+    "single_thread_baseline",
+    "summarize_policies",
+    "trace_for",
+    "window_size_sweep",
+]

@@ -1,0 +1,95 @@
+"""Table I / Figure 1: per-benchmark MLP characterization.
+
+For every benchmark we measure, on the single-threaded baseline machine:
+
+* LLL — long-latency loads per 1K committed instructions,
+* MLP — the Chou et al. average outstanding long-latency loads,
+* MLP impact — the slowdown from artificially serializing all independent
+  long-latency misses (``serialize_long_latency``), exactly the paper's
+  serialized-vs-parallel experiment; an impact of 0.5 means MLP doubles
+  performance,
+* the ILP/MLP classification (impact > 10% ⇒ MLP-intensive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import SMTConfig
+from repro.experiments.defaults import characterization_config, default_commits
+from repro.experiments.profile import characterization_budget, profile_benchmark
+from repro.experiments.runner import run_single
+from repro.workloads import TABLE_I
+
+MLP_IMPACT_THRESHOLD = 0.10
+
+
+@dataclass
+class CharacterizationRow:
+    """One measured row of Table I, with the paper's values alongside."""
+
+    name: str
+    lll_per_kilo: float
+    mlp: float
+    mlp_impact: float
+    category: str
+    ipc: float
+    paper_lll_per_kilo: float
+    paper_mlp: float
+    paper_mlp_impact: float
+    paper_category: str
+
+    @property
+    def category_matches_paper(self) -> bool:
+        return self.category == self.paper_category
+
+
+def characterize(names: list[str] | None = None,
+                 cfg: SMTConfig | None = None,
+                 max_commits: int | None = None) -> list[CharacterizationRow]:
+    """Measure Table I for ``names`` (default: all 26 benchmarks)."""
+    if names is None:
+        names = sorted(TABLE_I)
+    if cfg is None:
+        cfg = characterization_config()
+    if max_commits is None:
+        max_commits = default_commits()
+    rows = []
+    for name in names:
+        budget = characterization_budget(name, max_commits)
+        profile = profile_benchmark(name, cfg, max_commits)
+        serial_cfg = replace(
+            cfg, memory=replace(cfg.memory, serialize_long_latency=True))
+        serial = run_single(name, serial_cfg, budget)
+        # Compare cycles at the same committed-instruction count.
+        par_cpi = profile.stats.cpi(0)
+        ser_cpi = serial.cpi(0)
+        impact = max(0.0, 1.0 - par_cpi / ser_cpi) if ser_cpi > 0 else 0.0
+        paper = TABLE_I[name]
+        rows.append(CharacterizationRow(
+            name=name,
+            lll_per_kilo=profile.lll_per_kilo,
+            mlp=profile.mlp,
+            mlp_impact=impact,
+            category="MLP" if impact > MLP_IMPACT_THRESHOLD else "ILP",
+            ipc=profile.ipc,
+            paper_lll_per_kilo=paper.lll_per_kilo,
+            paper_mlp=paper.mlp,
+            paper_mlp_impact=paper.mlp_impact,
+            paper_category=paper.category,
+        ))
+    return rows
+
+
+def format_table(rows: list[CharacterizationRow]) -> str:
+    """Render measured-vs-paper Table I as text."""
+    header = (f"{'benchmark':<10} {'LLL/1K':>8} {'(paper)':>8} "
+              f"{'MLP':>6} {'(paper)':>8} {'impact':>8} {'(paper)':>8} "
+              f"{'class':>6} {'(paper)':>8}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:<10} {r.lll_per_kilo:>8.2f} {r.paper_lll_per_kilo:>8.2f} "
+            f"{r.mlp:>6.2f} {r.paper_mlp:>8.2f} {r.mlp_impact:>7.1%} "
+            f"{r.paper_mlp_impact:>7.1%} {r.category:>6} {r.paper_category:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""The paper's published headline results, for paper-vs-measured reporting.
+
+Per-benchmark Table I values live in ``repro.workloads.registry.TABLE_I``;
+this module holds the aggregate numbers quoted in the abstract and
+Section 6, which EXPERIMENTS.md and the benches compare against.
+All deltas are relative improvements ("+0.202" = 20.2% better).
+"""
+
+from __future__ import annotations
+
+#: Section 6.1: long-latency load predictor (Figure 6).
+LLL_PREDICTOR = {
+    "mean_accuracy_per_load": 0.994,
+    "min_accuracy_per_load": 0.94,
+    "miss_accuracy_memory_intensive": (0.85, 0.99),  # range; mcf is 0.59
+    "mcf_miss_accuracy": 0.59,
+}
+
+#: Section 6.2: MLP predictor (Figures 7 and 8).
+MLP_PREDICTOR = {
+    "binary_accuracy": 0.915,
+    "false_negatives": 0.048,
+    "false_positives": 0.037,
+    "distance_accuracy": 0.878,
+}
+
+#: Section 6.3.1, two-thread workloads: MLP-aware flush vs. baselines.
+#: Keys are (workload_class, baseline): (dSTP, dANTT-improvement).
+TWO_THREAD_HEADLINES = {
+    ("ILP", "icount"): (0.064, 0.051),
+    ("MLP", "icount"): (0.202, 0.210),
+    ("MLP", "flush"): (0.051, 0.188),
+    ("MIX", "icount"): (0.224, 0.192),
+    ("MIX", "flush"): (0.040, 0.139),
+}
+
+#: Section 6.3.2, four-thread workloads: MLP-aware flush deltas.
+FOUR_THREAD_HEADLINES = {
+    ("ALL", "icount"): (0.16, 0.124),   # STP ~16% better, ANTT 12.4% better
+    ("ALL", "flush"): (0.0, 0.095),     # STP comparable, ANTT 9.5% better
+}
+
+#: Section 5: hardware prefetcher speedup over no-prefetcher baseline
+#: (harmonic mean across the suite, Figure 5).
+PREFETCHER_HMEAN_SPEEDUP = 1.202
+
+#: Section 6.6: MLP-aware flush vs. DCRA.
+PARTITIONING_HEADLINES = {
+    "dcra_better_ilp_stp": 0.029,     # DCRA wins ILP STP by 2.9%
+    "dcra_better_ilp_antt": 0.033,
+    "mlpflush_better_mem_antt": 0.054,  # 2-thread MLP/mixed ANTT
+    "mlpflush_better_mlp_stp": 0.021,
+    "mlpflush_better_4t_mlp_antt": 0.085,
+}
+
+#: Figure 4 qualitative shape: fraction of exploitable MLP found within a
+#: given distance, per program (read off the published CDFs).
+MLP_DISTANCE_SHAPES = {
+    "lucas": "nearly 100% of MLP within distance 40",
+    "equake": "~50% of MLP within distance 90",
+    "mcf": "most MLP beyond distance 100",
+    "fma3d": "most MLP beyond distance 100",
+}
+
+#: Figures 15-18 qualitative trends for the MLP-aware flush policy.
+SWEEP_TRENDS = {
+    "memlat": "advantage over ICOUNT grows with memory latency",
+    "window": "advantage over non-MLP-aware policies grows with window size",
+}

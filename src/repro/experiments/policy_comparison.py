@@ -1,0 +1,80 @@
+"""Fetch-policy comparisons: Figures 9/10 (2-thread), 13/14 (4-thread),
+20/21 (alternatives), 22/23 (vs. static partitioning and DCRA)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SMTConfig
+from repro.experiments.defaults import default_commits, default_config
+from repro.experiments.runner import WorkloadResult, evaluate_workload
+from repro.metrics import summarize_antt, summarize_stp
+
+
+@dataclass
+class PolicyCell:
+    """One (workload, policy) result."""
+
+    names: tuple[str, ...]
+    policy: str
+    stp: float
+    antt: float
+    ipcs: tuple[float, ...]
+    result: WorkloadResult
+
+
+def compare_policies(workloads, policies, cfg: SMTConfig | None = None,
+                     max_commits: int | None = None,
+                     progress=None) -> dict[tuple[tuple[str, ...], str], PolicyCell]:
+    """Evaluate every (workload × policy) cell.
+
+    ``workloads`` is an iterable of benchmark-name tuples; all must match
+    ``cfg.num_threads``.  ``progress`` is an optional callable invoked with
+    a status string after each cell (used by the CLI and benches).
+    """
+    workloads = [tuple(w) for w in workloads]
+    if not workloads:
+        raise ValueError("need at least one workload")
+    if cfg is None:
+        cfg = default_config(num_threads=len(workloads[0]))
+    if max_commits is None:
+        max_commits = default_commits()
+    cells: dict[tuple[tuple[str, ...], str], PolicyCell] = {}
+    for names in workloads:
+        for policy in policies:
+            result = evaluate_workload(names, cfg, policy, max_commits)
+            cell = PolicyCell(names, policy, result.stp, result.antt,
+                              result.ipcs, result)
+            cells[(names, policy)] = cell
+            if progress is not None:
+                progress(str(result))
+    return cells
+
+
+def summarize_policies(cells, workloads, policies) \
+        -> dict[str, tuple[float, float]]:
+    """Average STP (hmean) and ANTT (amean) per policy across workloads."""
+    workloads = [tuple(w) for w in workloads]
+    summary = {}
+    for policy in policies:
+        stps = [cells[(w, policy)].stp for w in workloads]
+        antts = [cells[(w, policy)].antt for w in workloads]
+        summary[policy] = (summarize_stp(stps), summarize_antt(antts))
+    return summary
+
+
+def format_summary(summary: dict[str, tuple[float, float]],
+                   baseline: str = "icount") -> str:
+    """Render a per-policy summary table, with deltas vs. a baseline."""
+    lines = [f"{'policy':<22} {'STP':>7} {'ANTT':>7} "
+             f"{'dSTP%':>7} {'dANTT%':>7}"]
+    base = summary.get(baseline)
+    for policy, (stp_v, antt_v) in summary.items():
+        if base and base[0] > 0 and base[1] > 0:
+            dstp = 100.0 * (stp_v / base[0] - 1.0)
+            dantt = 100.0 * (antt_v / base[1] - 1.0)
+            lines.append(f"{policy:<22} {stp_v:>7.3f} {antt_v:>7.3f} "
+                         f"{dstp:>+7.1f} {dantt:>+7.1f}")
+        else:
+            lines.append(f"{policy:<22} {stp_v:>7.3f} {antt_v:>7.3f}")
+    return "\n".join(lines)

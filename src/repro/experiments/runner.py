@@ -1,0 +1,178 @@
+"""Run single programs and multiprogram workloads; compute STP/ANTT.
+
+Implements the paper's Section 5 methodology: a multiprogram simulation
+stops when the first program commits its instruction budget; each program i
+then has committed x_i instructions, and its single-threaded CPI is
+evaluated *at x_i instructions* from a cached single-threaded run that
+records the cycle stamp of every commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SMTConfig
+from repro.experiments.defaults import default_warmup
+from repro.metrics import antt, stp
+from repro.pipeline import CoreStats, SMTCore
+from repro.policies import FetchPolicy, make_policy
+from repro.util import mix64
+from repro.workloads import SyntheticTrace, benchmark
+
+_THREAD_BASE_SHIFT = 48
+_PC_BASE_SHIFT = 20
+
+
+def stable_seed(name: str) -> int:
+    """Deterministic per-benchmark seed (independent of thread slot)."""
+    return mix64(*name.encode())
+
+
+def trace_for(name: str, cfg: SMTConfig, slot: int = 0) -> SyntheticTrace:
+    """Build the trace for ``name`` placed in hardware-thread ``slot``.
+
+    The generated instruction stream is identical for every slot (only the
+    address-space and PC bases differ), so single-threaded baselines and
+    multithreaded runs execute the same program.
+    """
+    return SyntheticTrace(
+        benchmark(name), cfg.memory, seed=stable_seed(name),
+        base=(slot + 1) << _THREAD_BASE_SHIFT,
+        pc_base=(slot + 1) << _PC_BASE_SHIFT)
+
+
+@dataclass
+class SingleThreadResult:
+    """A cached single-threaded run with per-commit cycle stamps."""
+
+    name: str
+    stats: CoreStats
+    commit_cycles: list[int]
+
+    def cpi_at(self, commits: int) -> float:
+        """Single-threaded CPI after exactly ``commits`` instructions."""
+        if commits <= 0:
+            raise ValueError("commits must be positive")
+        commits = min(commits, len(self.commit_cycles))
+        # A commit stamped on the measurement-start cycle would yield a
+        # degenerate zero CPI on very short runs; clamp to one cycle.
+        return max(self.commit_cycles[commits - 1], 1) / commits
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc(0)
+
+
+def _single_config(cfg: SMTConfig) -> SMTConfig:
+    from dataclasses import replace
+    if cfg.num_threads == 1:
+        return cfg
+    return replace(cfg, num_threads=1)
+
+
+def core_for(policy: FetchPolicy) -> type[SMTCore]:
+    """The core implementation a policy requires (see ``core_class``)."""
+    return policy.core_class or SMTCore
+
+
+def run_single(name: str, cfg: SMTConfig, max_commits: int,
+               policy: str | FetchPolicy = "icount",
+               record_commits: bool = False,
+               warmup: int | None = None) -> CoreStats:
+    """Run one benchmark alone on the (single-threaded) machine."""
+    st_cfg = _single_config(cfg)
+    trace = trace_for(name, st_cfg, slot=0)
+    pol = make_policy(policy) if isinstance(policy, str) else policy
+    core = core_for(pol)(st_cfg, [trace], pol)
+    if record_commits:
+        core.threads[0].commit_cycles = []
+    stats = core.run(max_commits,
+                     warmup=default_warmup() if warmup is None else warmup)
+    if record_commits:
+        stats.commit_cycle_trace = core.threads[0].commit_cycles  # type: ignore[attr-defined]
+    return stats
+
+
+_baseline_cache: dict[tuple, SingleThreadResult] = {}
+
+
+def single_thread_baseline(name: str, cfg: SMTConfig,
+                           max_commits: int,
+                           warmup: int | None = None) -> SingleThreadResult:
+    """Cached single-threaded ICOUNT run of ``name`` (CPI_ST source)."""
+    st_cfg = _single_config(cfg)
+    if warmup is None:
+        warmup = default_warmup()
+    key = (name, st_cfg, max_commits, warmup)
+    cached = _baseline_cache.get(key)
+    if cached is not None:
+        return cached
+    trace = trace_for(name, st_cfg, slot=0)
+    core = SMTCore(st_cfg, [trace], make_policy("icount"))
+    core.threads[0].commit_cycles = []
+    stats = core.run(max_commits, warmup=warmup)
+    result = SingleThreadResult(name, stats, core.threads[0].commit_cycles)
+    _baseline_cache[key] = result
+    return result
+
+
+def clear_baseline_cache() -> None:
+    _baseline_cache.clear()
+
+
+@dataclass
+class WorkloadResult:
+    """One multiprogram run, evaluated with the paper's metrics."""
+
+    names: tuple[str, ...]
+    policy: str
+    stats: CoreStats
+    committed: tuple[int, ...] = ()
+    st_cpis: tuple[float, ...] = ()
+    mt_cpis: tuple[float, ...] = ()
+    stp: float = 0.0
+    antt: float = 0.0
+    ipcs: tuple[float, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        mix = "-".join(self.names)
+        return (f"{mix:<32} {self.policy:<20} STP={self.stp:5.3f} "
+                f"ANTT={self.antt:5.3f}")
+
+
+def run_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
+                 policy: str = "icount", max_commits: int = 20_000,
+                 warmup: int | None = None,
+                 **policy_kwargs) -> tuple[CoreStats, SMTCore]:
+    """Simulate a multiprogram workload; returns (stats, core)."""
+    names = tuple(names)
+    if len(names) != cfg.num_threads:
+        raise ValueError(
+            f"workload {names} needs a {len(names)}-thread config, "
+            f"got num_threads={cfg.num_threads}")
+    traces = [trace_for(name, cfg, slot=i) for i, name in enumerate(names)]
+    pol = make_policy(policy, **policy_kwargs)
+    core = core_for(pol)(cfg, traces, pol)
+    stats = core.run(max_commits,
+                     warmup=default_warmup() if warmup is None else warmup)
+    return stats, core
+
+
+def evaluate_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
+                      policy: str = "icount", max_commits: int = 20_000,
+                      warmup: int | None = None,
+                      **policy_kwargs) -> WorkloadResult:
+    """Run a workload and score it with STP and ANTT (Section 5)."""
+    names = tuple(names)
+    stats, _core = run_workload(names, cfg, policy, max_commits,
+                                warmup=warmup, **policy_kwargs)
+    committed = tuple(t.committed for t in stats.threads)
+    mt_cpis = tuple(stats.cycles / max(x, 1) for x in committed)
+    st_cpis = tuple(
+        single_thread_baseline(name, cfg, max_commits).cpi_at(max(x, 1))
+        for name, x in zip(names, committed))
+    return WorkloadResult(
+        names=names, policy=policy, stats=stats, committed=committed,
+        st_cpis=st_cpis, mt_cpis=mt_cpis,
+        stp=stp(st_cpis, mt_cpis), antt=antt(st_cpis, mt_cpis),
+        ipcs=tuple(stats.ipc(i) for i in range(len(names))))

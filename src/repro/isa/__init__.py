@@ -1,0 +1,23 @@
+"""Abstract micro-op ISA used by the synthetic traces and the pipeline."""
+
+from repro.isa.instruction import (
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    EXEC_LATENCY,
+    FU_CLASS,
+    FuClass,
+    Instr,
+    Op,
+    is_fp_reg,
+)
+
+__all__ = [
+    "FP_REG_BASE",
+    "NUM_ARCH_REGS",
+    "EXEC_LATENCY",
+    "FU_CLASS",
+    "FuClass",
+    "Instr",
+    "Op",
+    "is_fp_reg",
+]

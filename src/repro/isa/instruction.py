@@ -1,0 +1,105 @@
+"""Micro-op instruction model.
+
+The simulator is timing-only: an instruction carries exactly the information
+the pipeline needs — operation class, architectural register dependences, a
+memory address for loads/stores, and the resolved direction for branches.
+Architectural registers 0..31 are integer, 32..63 floating-point; register 0
+is the hard-wired zero register (never a real dependence).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+NUM_ARCH_REGS = 64
+FP_REG_BASE = 32
+ZERO_REG = 0
+
+
+class Op(IntEnum):
+    """Operation classes with distinct latency / functional-unit needs."""
+
+    IALU = 0
+    IMUL = 1
+    FALU = 2
+    FMUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+
+class FuClass(IntEnum):
+    """Functional-unit pools of Table IV (4 int ALUs, 2 ld/st, 2 FP)."""
+
+    INT_ALU = 0
+    LDST = 1
+    FP = 2
+
+
+#: Execution latency in cycles (loads: address generation only; the memory
+#: access latency is added by the hierarchy).
+EXEC_LATENCY = {
+    Op.IALU: 1,
+    Op.IMUL: 3,
+    Op.FALU: 2,
+    Op.FMUL: 4,
+    Op.LOAD: 1,
+    Op.STORE: 1,
+    Op.BRANCH: 1,
+}
+
+FU_CLASS = {
+    Op.IALU: FuClass.INT_ALU,
+    Op.IMUL: FuClass.INT_ALU,
+    Op.BRANCH: FuClass.INT_ALU,
+    Op.LOAD: FuClass.LDST,
+    Op.STORE: FuClass.LDST,
+    Op.FALU: FuClass.FP,
+    Op.FMUL: FuClass.FP,
+}
+
+
+def is_fp_reg(reg: int) -> bool:
+    return reg >= FP_REG_BASE
+
+
+class Instr:
+    """One dynamic instruction of a thread's trace.
+
+    Attributes:
+        pc: static instruction identifier (used to index predictors).
+        op: operation class.
+        dest: destination architectural register, or ``None``.
+        srcs: source architectural registers (zero register filtered out).
+        addr: byte address for loads/stores, else ``None``.
+        taken: resolved branch direction (branches only).
+    """
+
+    __slots__ = ("pc", "op", "dest", "srcs", "addr", "taken")
+
+    def __init__(self, pc: int, op: Op, dest: int | None = None,
+                 srcs: tuple[int, ...] = (), addr: int | None = None,
+                 taken: bool = False):
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.srcs = tuple(s for s in srcs if s != ZERO_REG)
+        self.addr = addr
+        self.taken = taken
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op is Op.LOAD or self.op is Op.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"pc={self.pc}", self.op.name]
+        if self.dest is not None:
+            parts.append(f"d=r{self.dest}")
+        if self.srcs:
+            parts.append("s=" + ",".join(f"r{s}" for s in self.srcs))
+        if self.addr is not None:
+            parts.append(f"@{self.addr:#x}")
+        if self.op is Op.BRANCH:
+            parts.append("T" if self.taken else "NT")
+        return f"<Instr {' '.join(parts)}>"

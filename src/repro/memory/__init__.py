@@ -1,0 +1,17 @@
+"""Memory hierarchy: caches, TLBs, prefetcher, and the composed timing model."""
+
+from repro.memory.cache import Cache
+from repro.memory.tlb import TLB
+from repro.memory.stride_predictor import StridePredictor
+from repro.memory.stream_buffer import StreamBufferPrefetcher
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy, ServiceLevel
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "MemoryHierarchy",
+    "ServiceLevel",
+    "StridePredictor",
+    "StreamBufferPrefetcher",
+    "TLB",
+]

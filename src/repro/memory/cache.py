@@ -1,0 +1,100 @@
+"""A set-associative cache with true-LRU replacement.
+
+Timing-only: the cache tracks which lines are present, not their data.
+Lines are installed immediately on miss handling (tag update at request
+time); fill *timing* is tracked by the hierarchy's pending-fill table, which
+models MSHR merging.
+"""
+
+from __future__ import annotations
+
+from repro.config import CacheConfig
+
+
+class Cache:
+    """One cache level.  Addresses are byte addresses."""
+
+    __slots__ = ("cfg", "name", "_sets", "_num_sets", "_line_shift",
+                 "_stamp", "hits", "misses")
+
+    def __init__(self, cfg: CacheConfig, name: str = "cache"):
+        self.cfg = cfg
+        self.name = name
+        self._num_sets = cfg.num_sets
+        self._line_shift = cfg.line_size.bit_length() - 1
+        if (1 << self._line_shift) != cfg.line_size:
+            raise ValueError("line size must be a power of two")
+        # One dict per set: {line_number: lru_stamp}.
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self._num_sets)]
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def lookup(self, addr: int) -> bool:
+        """Access the cache; returns True on hit.  Updates LRU, no fill."""
+        line = addr >> self._line_shift
+        s = self._sets[line % self._num_sets]
+        self._stamp += 1
+        if line in s:
+            s[line] = self._stamp
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check presence without touching LRU or statistics."""
+        line = addr >> self._line_shift
+        return line in self._sets[line % self._num_sets]
+
+    def touch(self, addr: int) -> None:
+        """Refresh LRU recency if present, without counting an access.
+
+        Used to propagate recency from upper-level hits so lines that are
+        hot in L1/L2 do not go LRU-stale in the lower levels.
+        """
+        line = addr >> self._line_shift
+        s = self._sets[line % self._num_sets]
+        if line in s:
+            self._stamp += 1
+            s[line] = self._stamp
+
+    def install(self, addr: int) -> int | None:
+        """Insert the line containing ``addr``; returns the evicted line or None."""
+        line = addr >> self._line_shift
+        s = self._sets[line % self._num_sets]
+        self._stamp += 1
+        if line in s:
+            s[line] = self._stamp
+            return None
+        victim = None
+        if len(s) >= self.cfg.assoc:
+            victim = min(s, key=s.get)
+            del s[victim]
+        s[line] = self._stamp
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        """Remove the line containing ``addr`` if present."""
+        line = addr >> self._line_shift
+        s = self._sets[line % self._num_sets]
+        if line in s:
+            del s[line]
+            return True
+        return False
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

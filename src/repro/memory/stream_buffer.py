@@ -1,0 +1,150 @@
+"""Predictor-directed stream buffers (Sherwood, Sair & Calder, MICRO 2000).
+
+Table IV: 8 stream buffers of 8 entries each, guided by a 2K-entry stride
+predictor indexed by the load PC, with confidence-based allocation.
+
+Each buffer prefetches a strided sequence of cache lines ahead of a demand
+stream.  A demand miss that matches a buffered line is serviced from the
+buffer (or waits for the in-flight fill); the buffer then slides forward and
+prefetches further lines.  A demand miss that matches no buffer consults the
+stride predictor and, on a confident nonzero stride, reallocates the
+least-recently-used buffer.
+"""
+
+from __future__ import annotations
+
+from repro.config import PrefetcherConfig
+from repro.memory.stride_predictor import StridePredictor
+
+
+class _StreamBuffer:
+    __slots__ = ("entries", "next_addr", "stride", "last_used", "valid",
+                 "hits_since_alloc", "alloc_cycle")
+
+    def __init__(self) -> None:
+        self.entries: dict[int, int] = {}  # line_number -> fill-ready cycle
+        self.next_addr = 0
+        self.stride = 0
+        self.last_used = -1
+        self.valid = False
+        self.hits_since_alloc = 0
+        self.alloc_cycle = -1
+
+
+class StreamBufferPrefetcher:
+    """The stream-buffer array plus its guiding stride predictor."""
+
+    __slots__ = ("cfg", "stride_predictor", "_buffers", "_line_shift",
+                 "_mem_latency", "hits", "lookups", "allocations",
+                 "prefetches_issued")
+
+    def __init__(self, cfg: PrefetcherConfig, line_size: int, mem_latency: int):
+        self.cfg = cfg
+        self.stride_predictor = StridePredictor(
+            cfg.stride_table_entries, cfg.confidence_threshold)
+        self._buffers = [_StreamBuffer() for _ in range(cfg.num_buffers)]
+        self._line_shift = line_size.bit_length() - 1
+        self._mem_latency = mem_latency
+        self.hits = 0
+        self.lookups = 0
+        self.allocations = 0
+        self.prefetches_issued = 0
+
+    def _line(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def observe_load(self, pc: int, addr: int) -> None:
+        """Train the stride predictor with every executed load."""
+        self.stride_predictor.observe(pc, addr)
+
+    def demand_miss(self, pc: int, addr: int, cycle: int) -> int | None:
+        """Handle a demand L1 miss.
+
+        Returns the cycle at which the line is available from a stream
+        buffer, or ``None`` when no buffer holds it (the miss proceeds down
+        the normal hierarchy; a new stream may be allocated).
+        """
+        self.lookups += 1
+        line = self._line(addr)
+        for buf in self._buffers:
+            if buf.valid and line in buf.entries:
+                ready = buf.entries[line]
+                buf.last_used = cycle
+                buf.hits_since_alloc += 1
+                self.hits += 1
+                self._consume(buf, line, cycle)
+                return max(ready, cycle)
+        self._maybe_allocate(pc, addr, cycle)
+        return None
+
+    def _consume(self, buf: _StreamBuffer, line: int, cycle: int) -> None:
+        """Retire the hit line (and stale predecessors); top the buffer up."""
+        if buf.stride >= 0:
+            stale = [ln for ln in buf.entries if ln <= line]
+        else:
+            stale = [ln for ln in buf.entries if ln >= line]
+        for ln in stale:
+            del buf.entries[ln]
+        self._top_up(buf, cycle)
+
+    def _top_up(self, buf: _StreamBuffer, cycle: int) -> None:
+        while len(buf.entries) < self.cfg.buffer_entries:
+            line = self._line(buf.next_addr)
+            if line not in buf.entries:
+                buf.entries[line] = cycle + self._mem_latency
+                self.prefetches_issued += 1
+            buf.next_addr += buf.stride * (1 << self._line_shift)
+
+    def _maybe_allocate(self, pc: int, addr: int, cycle: int) -> None:
+        stride = self.stride_predictor.confident_stride(pc)
+        if stride is None:
+            return
+        # Work in whole-line strides so consecutive prefetches hit new lines.
+        line_size = 1 << self._line_shift
+        line_stride = 1 if stride > 0 else -1
+        if abs(stride) > line_size:
+            line_stride = (stride + line_size - 1) // line_size if stride > 0 \
+                else (stride - line_size + 1) // line_size
+        # Usefulness-based replacement (the confidence scheme of Sherwood
+        # et al.): a buffer that is producing hits keeps its slot; only
+        # *dead* buffers may be reallocated — ones that never produced a
+        # hit within a generous grace period (the stream's first reuse can
+        # only arrive a reuse-interval after allocation), or ones that
+        # have stopped hitting for that long (the stream ended).  When no
+        # buffer is reclaimable the allocation is simply skipped: with
+        # more live streams than buffers, a stable subset stays covered
+        # instead of every allocation thrashing every buffer before any
+        # can produce its first hit.
+        # The reuse interval of a strided stream (miss → next line miss)
+        # spans several thousand cycles on this machine; a grace shorter
+        # than that reclaims every buffer just before its first hit.
+        grace = 16 * self._mem_latency
+        victim = None
+        for buf in self._buffers:
+            if not buf.valid:
+                victim = buf
+                break
+        if victim is None:
+            eligible = [
+                b for b in self._buffers
+                if (b.hits_since_alloc == 0
+                    and cycle - b.alloc_cycle >= grace)
+                or cycle - b.last_used >= grace
+            ]
+            if not eligible:
+                return
+            victim = min(eligible,
+                         key=lambda b: (b.hits_since_alloc, b.last_used))
+        victim.valid = True
+        victim.alloc_cycle = cycle
+        victim.entries = {}
+        victim.stride = line_stride
+        victim.last_used = cycle
+        victim.hits_since_alloc = 0
+        victim.next_addr = addr + line_stride * line_size
+        self.allocations += 1
+        self._top_up(victim, cycle)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

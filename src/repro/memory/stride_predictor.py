@@ -1,0 +1,61 @@
+"""PC-indexed stride predictor guiding stream-buffer allocation.
+
+Per Sherwood et al. (MICRO 2000) and the paper's Table IV: a 2K-entry table
+indexed by load PC; each entry holds the last address, the last observed
+stride, and a two-bit confidence counter.  A stream buffer is allocated only
+for loads whose stride is predicted with high confidence.
+"""
+
+from __future__ import annotations
+
+
+class _Entry:
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self) -> None:
+        self.last_addr = -1
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePredictor:
+    __slots__ = ("_table", "_entries", "_threshold", "_max_conf")
+
+    def __init__(self, entries: int = 2048, confidence_threshold: int = 2,
+                 max_confidence: int = 3):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self._entries = entries
+        self._threshold = confidence_threshold
+        self._max_conf = max_confidence
+        self._table: dict[int, _Entry] = {}
+
+    def _entry(self, pc: int) -> _Entry:
+        idx = pc % self._entries
+        e = self._table.get(idx)
+        if e is None:
+            e = _Entry()
+            self._table[idx] = e
+        return e
+
+    def observe(self, pc: int, addr: int) -> None:
+        """Train the predictor with a committed/executed load."""
+        e = self._entry(pc)
+        if e.last_addr >= 0:
+            stride = addr - e.last_addr
+            if stride == e.stride:
+                if e.confidence < self._max_conf:
+                    e.confidence += 1
+            else:
+                if e.confidence > 0:
+                    e.confidence -= 1
+                else:
+                    e.stride = stride
+        e.last_addr = addr
+
+    def confident_stride(self, pc: int) -> int | None:
+        """Return the predicted stride if confident (and nonzero), else None."""
+        e = self._table.get(pc % self._entries)
+        if e is None or e.confidence < self._threshold or e.stride == 0:
+            return None
+        return e.stride

@@ -1,0 +1,47 @@
+"""A fully-associative TLB with LRU replacement (Table IV: 128 I / 512 D)."""
+
+from __future__ import annotations
+
+from repro.config import TLBConfig
+
+
+class TLB:
+    __slots__ = ("cfg", "_entries", "_stamp", "_page_shift", "hits", "misses")
+
+    def __init__(self, cfg: TLBConfig):
+        self.cfg = cfg
+        shift = cfg.page_size.bit_length() - 1
+        if (1 << shift) != cfg.page_size:
+            raise ValueError("page size must be a power of two")
+        self._page_shift = shift
+        self._entries: dict[int, int] = {}
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    def page_of(self, addr: int) -> int:
+        return addr >> self._page_shift
+
+    def lookup(self, addr: int) -> bool:
+        """Translate ``addr``; returns True on hit.  Misses fill the entry."""
+        page = addr >> self._page_shift
+        self._stamp += 1
+        entries = self._entries
+        if page in entries:
+            entries[page] = self._stamp
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entries) >= self.cfg.entries:
+            del entries[min(entries, key=entries.get)]
+        entries[page] = self._stamp
+        return False
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,19 @@
+"""System-level multiprogram performance metrics."""
+
+from repro.metrics.system import (
+    antt,
+    arithmetic_mean,
+    harmonic_mean,
+    stp,
+    summarize_antt,
+    summarize_stp,
+)
+
+__all__ = [
+    "antt",
+    "arithmetic_mean",
+    "harmonic_mean",
+    "stp",
+    "summarize_antt",
+    "summarize_stp",
+]

@@ -1,0 +1,66 @@
+"""STP and ANTT (Eyerman & Eeckhout, IEEE Micro 2008) — Section 5.
+
+For ``n`` programs co-running on the SMT processor::
+
+    STP  = sum_i  CPI_ST_i / CPI_MT_i      (higher is better; jobs/unit time;
+                                            the weighted speedup of Snavely &
+                                            Tullsen)
+    ANTT = (1/n) sum_i CPI_MT_i / CPI_ST_i (lower is better; mean user-
+                                            perceived slowdown; reciprocal of
+                                            the hmean metric of Luo et al.)
+
+Following John (2006) and the paper, averages across workloads use the
+harmonic mean for STP and the arithmetic mean for ANTT.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _validate(st_cpis: Sequence[float], mt_cpis: Sequence[float]) -> None:
+    if len(st_cpis) != len(mt_cpis):
+        raise ValueError("need one single-threaded CPI per program")
+    if not st_cpis:
+        raise ValueError("need at least one program")
+    if any(c <= 0 for c in st_cpis) or any(c <= 0 for c in mt_cpis):
+        raise ValueError("CPIs must be positive")
+
+
+def stp(st_cpis: Sequence[float], mt_cpis: Sequence[float]) -> float:
+    """System throughput: sum of per-program single-thread/multithread CPI."""
+    _validate(st_cpis, mt_cpis)
+    return sum(st / mt for st, mt in zip(st_cpis, mt_cpis))
+
+
+def antt(st_cpis: Sequence[float], mt_cpis: Sequence[float]) -> float:
+    """Average normalized turnaround time (mean per-program slowdown)."""
+    _validate(st_cpis, mt_cpis)
+    n = len(st_cpis)
+    return sum(mt / st for st, mt in zip(st_cpis, mt_cpis)) / n
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(values) / len(values)
+
+
+def summarize_stp(per_workload_stp: Sequence[float]) -> float:
+    """Average STP across workloads (harmonic mean, per the paper)."""
+    return harmonic_mean(per_workload_stp)
+
+
+def summarize_antt(per_workload_antt: Sequence[float]) -> float:
+    """Average ANTT across workloads (arithmetic mean, per the paper)."""
+    return arithmetic_mean(per_workload_antt)

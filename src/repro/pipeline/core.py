@@ -1,0 +1,658 @@
+"""The cycle-level SMT out-of-order core.
+
+Models the Table IV machine: ICOUNT-style fetch of up to ``fetch_width``
+instructions from up to ``fetch_max_threads`` threads per cycle, a front-end
+pipeline of ``frontend_depth`` cycles, register renaming against shared
+int/fp rename-register pools, shared ROB/LSQ and per-class issue queues,
+oldest-first issue to the functional-unit pools, a shared write buffer that
+stores drain through after commit, and per-thread commit with a shared
+commit-width budget.
+
+Fetch policies plug in through :class:`repro.policies.base.FetchPolicy`
+hooks; flushes squash a thread's youngest instructions, undo the rename map
+from per-instruction records, release all held resources, and rewind the
+thread's (stateless, regenerable) trace index.
+
+Branch handling is trace-driven: wrong-path instructions are never fetched;
+a mispredicted branch instead blocks its thread's fetch until the branch
+resolves, and the front-end refill supplies the redirect penalty.
+
+The engine optionally *fast-forwards* over cycles in which provably nothing
+can happen (no fetch-eligible thread, empty ready queues, no dispatchable or
+committable instruction) by jumping to the next scheduled event; tests
+verify cycle-exact equivalence with the naive loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.branch import BTB, GShare
+from repro.config import SMTConfig
+from repro.isa import EXEC_LATENCY, FU_CLASS, FuClass, Op
+from repro.memory.hierarchy import MemoryHierarchy, ServiceLevel
+from repro.pipeline.dyninstr import DynInstr
+from repro.pipeline.stats import CoreStats
+from repro.pipeline.thread_state import ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.policies.base import FetchPolicy
+    from repro.workloads.trace import SyntheticTrace
+
+
+class SimulationDeadlock(RuntimeError):
+    """Raised when no future event can ever change pipeline state."""
+
+
+class SimulationLimitExceeded(RuntimeError):
+    """Raised when the cycle budget runs out before the commit target."""
+
+
+class SMTCore:
+    """One simulated SMT processor instance (single run, single workload)."""
+
+    def __init__(self, cfg: SMTConfig, traces: list["SyntheticTrace"],
+                 policy: "FetchPolicy",
+                 hierarchy: MemoryHierarchy | None = None):
+        if len(traces) != cfg.num_threads:
+            raise ValueError(
+                f"expected {cfg.num_threads} traces, got {len(traces)}")
+        self.cfg = cfg
+        self.hierarchy = hierarchy or MemoryHierarchy(cfg.memory)
+        self.threads = [ThreadState(tid, trace, cfg)
+                        for tid, trace in enumerate(traces)]
+        self.policy = policy
+        self.gshare = GShare(cfg.gshare_entries, cfg.num_threads)
+        self.btb = BTB(cfg.btb_entries, cfg.btb_assoc)
+        self.cycle = 0
+        self._gseq = 0
+        self._events: list[tuple[int, int, DynInstr]] = []   # completions
+        self._detects: list[tuple[int, int, DynInstr]] = []  # LL detections
+        self._ready: dict[FuClass, list[tuple[int, DynInstr]]] = {
+            FuClass.INT_ALU: [], FuClass.LDST: [], FuClass.FP: []}
+        self._wb: list[int] = []                             # drain cycles
+        self.rob_used = 0
+        self.lsq_used = 0
+        self.iq_used = 0
+        self.fq_used = 0
+        self.int_regs_used = 0
+        self.fp_regs_used = 0
+        # The front-end queue must hold frontend_depth cycles of in-flight
+        # instructions *plus* headroom for new fetch groups, or fetch
+        # stalls every other cycle at full throughput.
+        self._fe_capacity = (cfg.frontend_depth + 2) * cfg.fetch_width
+        self.stats = CoreStats(threads=[ts.stats for ts in self.threads])
+        self._line_shift = cfg.memory.line_size.bit_length() - 1
+        self._measure_start = 0
+        self._track_ll_dep = cfg.predictors.dependence_aware
+        policy.attach(self)
+
+    # ------------------------------------------------------------------ #
+    # top-level driving
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_commits: int, max_cycles: int | None = None,
+            warmup: int = 0) -> CoreStats:
+        """Simulate until any thread commits ``max_commits`` instructions.
+
+        This is the paper's multiprogram methodology (Section 5): the run
+        stops when the first program reaches its instruction budget.  With
+        ``warmup`` > 0, the run first executes until some thread commits
+        that many instructions, then resets all measurements (caches,
+        predictors and branch state stay warm) before the measured phase.
+        """
+        if warmup > 0:
+            self._run_until(warmup, max_cycles)
+            self.reset_measurement()
+        self._run_until(max_commits, max_cycles)
+        self.stats.cycles = self.cycle - self._measure_start
+        self.stats.ll_intervals = self.hierarchy.ll_intervals
+        return self.stats
+
+    def _run_until(self, max_commits: int, max_cycles: int | None) -> None:
+        limit = max_cycles if max_cycles is not None else self.cfg.max_cycles
+        threads = self.threads
+        while True:
+            self.step()
+            if any(ts.stats.committed >= max_commits for ts in threads):
+                return
+            if self.cycle >= limit:
+                raise SimulationLimitExceeded(
+                    f"exceeded {limit} cycles without reaching "
+                    f"{max_commits} commits")
+
+    def reset_measurement(self) -> None:
+        """Zero all statistics while keeping microarchitectural state warm.
+
+        Used to discard cold-start transients (cold caches and TLBs, empty
+        predictors) from measurements; the pipeline contents, predictor
+        tables and cache state are untouched.
+        """
+        from repro.pipeline.stats import ThreadStats
+
+        for i, ts in enumerate(self.threads):
+            fresh = ThreadStats()
+            ts.stats = fresh
+            self.stats.threads[i] = fresh
+            if ts.commit_cycles is not None:
+                ts.commit_cycles = []
+            # The LLSR's register stays warm but its *sample log* is
+            # measurement state: cold-start compulsory misses would
+            # otherwise pollute the Figure 4 distance distribution.
+            ts.llsr.measured = []
+            ts.llsr.suppressed = 0
+        self.stats.resource_stall_cycles = 0
+        hierarchy = self.hierarchy
+        hierarchy.ll_intervals = []
+        hierarchy.ll_loads_per_thread = {}
+        hierarchy.demand_loads = 0
+        hierarchy.merged_loads = 0
+        hierarchy.prefetch_covered = 0
+        self._measure_start = self.cycle
+
+    def step(self) -> None:
+        """Advance one cycle (or fast-forward to the next event)."""
+        cycle = self.cycle
+        self._process_events(cycle)
+        self._drain_write_buffer(cycle)
+        self._commit(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self._fetch(cycle)
+        for ts in self.threads:
+            if ts.policy_stalled:
+                ts.stats.policy_stall_cycles += 1
+            if ts.waiting_branch is not None:
+                ts.stats.branch_stall_cycles += 1
+        if self.cfg.fast_forward:
+            self.cycle = self._next_cycle(cycle)
+        else:
+            self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------ #
+    # events (execution completions, long-latency detections)
+    # ------------------------------------------------------------------ #
+
+    def _process_events(self, cycle: int) -> None:
+        events = self._events
+        while events and events[0][0] <= cycle:
+            _, _, di = heapq.heappop(events)
+            self._complete(di, cycle)
+        detects = self._detects
+        while detects and detects[0][0] <= cycle:
+            _, _, di = heapq.heappop(detects)
+            if di.squashed or di.completed:
+                continue
+            self.policy.on_ll_detect(di, self.threads[di.thread])
+
+    def _complete(self, di: DynInstr, cycle: int) -> None:
+        ts = self.threads[di.thread]
+        if di.is_load and di.pending == -1:  # counted as outstanding miss
+            ts.outstanding_misses -= 1
+        if di.squashed:
+            return
+        di.completed = True
+        di.complete_cycle = cycle
+        waiters = di.waiters
+        if waiters:
+            ready = self._ready
+            for w in waiters:
+                w.pending -= 1
+                if w.pending == 0 and not w.squashed and w.in_iq and not w.issued:
+                    heapq.heappush(
+                        ready[FU_CLASS[w.instr.op]], (w.gseq, w))
+            di.waiters = None
+        if di.is_branch and ts.waiting_branch is di:
+            ts.waiting_branch = None
+            if ts.fetch_blocked_until < cycle + 1:
+                ts.fetch_blocked_until = cycle + 1
+        if di.is_load:
+            self.policy.on_load_complete(di, ts)
+
+    # ------------------------------------------------------------------ #
+    # commit
+    # ------------------------------------------------------------------ #
+
+    def _drain_write_buffer(self, cycle: int) -> None:
+        wb = self._wb
+        while wb and wb[0] <= cycle:
+            heapq.heappop(wb)
+
+    def _commit(self, cycle: int) -> None:
+        threads = self.threads
+        n = len(threads)
+        budget = self.cfg.commit_width
+        # Rotate by cycle number (not by call count) so fast-forwarded and
+        # naive runs stay cycle-exact.
+        start = cycle % n
+        while budget > 0:
+            progress = False
+            for i in range(n):
+                if budget == 0:
+                    break
+                if self._commit_one(threads[(start + i) % n], cycle):
+                    budget -= 1
+                    progress = True
+            if not progress:
+                break
+
+    def _commit_one(self, ts: ThreadState, cycle: int) -> bool:
+        window = ts.window
+        if not window:
+            return False
+        di = window[0]
+        if not di.completed:
+            return False
+        instr = di.instr
+        if di.is_store:
+            if len(self._wb) >= self.cfg.write_buffer_entries:
+                return False
+            result = self.hierarchy.store(ts.tid, instr.pc, instr.addr, cycle)
+            heapq.heappush(self._wb, result.complete_cycle)
+        window.popleft()
+        ts.rob_count -= 1
+        self.rob_used -= 1
+        if di.is_load or di.is_store:
+            ts.lsq_count -= 1
+            self.lsq_used -= 1
+        if di.has_dest:
+            if di.dest_fp:
+                ts.fp_regs -= 1
+                self.fp_regs_used -= 1
+            else:
+                ts.int_regs -= 1
+                self.int_regs_used -= 1
+        ts.stats.committed += 1
+        if ts.commit_cycles is not None:
+            ts.commit_cycles.append(cycle - self._measure_start)
+        dependent = False
+        parents = di.ll_parents
+        if parents is not None:
+            # Producers committed before us, so their long-latency outcome
+            # and inherited dependence are final by now.
+            dependent = any(p.is_ll or p.ll_dep for p in parents)
+            di.ll_dep = dependent
+            di.ll_parents = None
+        ts.llsr.commit(di.is_load and di.is_ll, instr.pc,
+                       dependent=dependent)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # issue / execute
+    # ------------------------------------------------------------------ #
+
+    _FU_COUNTS = ((FuClass.INT_ALU, "num_int_alu"),
+                  (FuClass.LDST, "num_ldst"),
+                  (FuClass.FP, "num_fp"))
+
+    def _issue(self, cycle: int) -> None:
+        cfg = self.cfg
+        ready = self._ready
+        for fu, attr in self._FU_COUNTS:
+            queue = ready[fu]
+            slots = getattr(cfg, attr)
+            while queue and slots > 0:
+                _, di = heapq.heappop(queue)
+                if di.squashed or di.issued or di.completed:
+                    continue
+                self._execute(di, cycle)
+                slots -= 1
+
+    def _execute(self, di: DynInstr, cycle: int) -> None:
+        ts = self.threads[di.thread]
+        di.issued = True
+        if di.in_iq:
+            di.in_iq = False
+            if di.iq_is_fp:
+                ts.fq_count -= 1
+                self.fq_used -= 1
+            else:
+                ts.iq_count -= 1
+                self.iq_used -= 1
+            ts.icount -= 1
+        instr = di.instr
+        op = instr.op
+        if op is Op.LOAD:
+            result = self.hierarchy.load(
+                ts.tid, instr.pc, instr.addr, cycle + EXEC_LATENCY[op])
+            completion = result.complete_cycle
+            is_ll = result.long_latency
+            di.is_ll = is_ll
+            di.level = result.level
+            stats = ts.stats
+            stats.loads_executed += 1
+            ts.lll_pred.train(instr.pc, is_ll)
+            predicted = di.predicted_ll
+            if predicted is not None:
+                stats.lll_pred_loads += 1
+                if predicted == is_ll:
+                    stats.lll_pred_correct += 1
+                if is_ll:
+                    stats.lll_pred_miss_actual += 1
+                    if predicted:
+                        stats.lll_pred_miss_correct += 1
+            if is_ll:
+                stats.ll_loads += 1
+            if result.trigger:
+                heapq.heappush(self._detects,
+                               (result.detect_cycle, di.gseq, di))
+            di.fill_line = result.fill_line
+            if result.level is not ServiceLevel.L1:
+                ts.outstanding_misses += 1
+                di.pending = -1  # marks "counted as outstanding miss"
+        else:
+            completion = cycle + EXEC_LATENCY[op]
+        heapq.heappush(self._events, (completion, di.gseq, di))
+
+    # ------------------------------------------------------------------ #
+    # dispatch (rename + resource allocation)
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, cycle: int) -> None:
+        cfg = self.cfg
+        budget = cfg.decode_width
+        any_ready = False
+        blocked_by_resource = False
+        dispatched = 0
+        threads = self.threads
+        n = len(threads)
+        start = (cycle + 1) % n  # offset from commit's rotation
+        for i in range(n):
+            ts = threads[(start + i) % n]
+            if budget == 0:
+                break
+            fe = ts.fe_queue
+            while budget > 0 and fe:
+                di = fe[0]
+                if di.fe_ready > cycle:
+                    break
+                any_ready = True
+                outcome = self._try_dispatch(ts, di)
+                if outcome is None:
+                    fe.popleft()
+                    budget -= 1
+                    dispatched += 1
+                    continue
+                if outcome:
+                    blocked_by_resource = True
+                break
+        if any_ready and dispatched == 0 and blocked_by_resource:
+            self.stats.resource_stall_cycles += 1
+            self.policy.on_resource_stall(cycle)
+
+    def _try_dispatch(self, ts: ThreadState, di: DynInstr) -> bool | None:
+        """Dispatch ``di``; returns None on success, else whether the block
+        was caused by a full shared resource (vs. a policy cap)."""
+        cfg = self.cfg
+        if self.rob_used >= cfg.rob_size:
+            return True
+        instr = di.instr
+        is_mem = di.is_load or di.is_store
+        if is_mem and self.lsq_used >= cfg.lsq_size:
+            return True
+        fp_queue = instr.op is Op.FALU or instr.op is Op.FMUL
+        if fp_queue:
+            if self.fq_used >= cfg.fp_iq_size:
+                return True
+        elif self.iq_used >= cfg.int_iq_size:
+            return True
+        if di.has_dest:
+            if di.dest_fp:
+                if self.fp_regs_used >= cfg.fp_rename_regs:
+                    return True
+            elif self.int_regs_used >= cfg.int_rename_regs:
+                return True
+        if not self.policy.can_dispatch(ts, di):
+            return False
+        # All checks passed: allocate and rename.
+        self.rob_used += 1
+        ts.rob_count += 1
+        if is_mem:
+            self.lsq_used += 1
+            ts.lsq_count += 1
+        if fp_queue:
+            self.fq_used += 1
+            ts.fq_count += 1
+        else:
+            self.iq_used += 1
+            ts.iq_count += 1
+        di.in_iq = True
+        di.iq_is_fp = fp_queue
+        rename_map = ts.rename_map
+        track_dep = self._track_ll_dep
+        parents: list[DynInstr] | None = [] if track_dep else None
+        # Runahead INV instructions carry bogus values: they neither wait
+        # for producers nor execute for real (see repro.runahead.core).
+        wait = not di.inv
+        for src in instr.srcs:
+            prod = rename_map.get(src)
+            if prod is None:
+                continue
+            if track_dep and (prod.is_load or prod.ll_parents is not None
+                              or prod.ll_dep):
+                parents.append(prod)
+            if wait and not prod.completed:
+                di.pending += 1
+                if prod.waiters is None:
+                    prod.waiters = [di]
+                else:
+                    prod.waiters.append(di)
+        if parents:
+            di.ll_parents = tuple(parents)
+        if di.has_dest:
+            dest = instr.dest
+            di.old_map = rename_map.get(dest)
+            rename_map[dest] = di
+            if di.dest_fp:
+                self.fp_regs_used += 1
+                ts.fp_regs += 1
+            else:
+                self.int_regs_used += 1
+                ts.int_regs += 1
+        ts.window.append(di)
+        if di.pending == 0:
+            heapq.heappush(self._ready[FU_CLASS[instr.op]], (di.gseq, di))
+        return None
+
+    # ------------------------------------------------------------------ #
+    # fetch
+    # ------------------------------------------------------------------ #
+
+    def fetchable(self, ts: ThreadState, cycle: int) -> bool:
+        """Base (policy-independent) fetch eligibility for ``ts``."""
+        return (ts.fetch_blocked_until <= cycle
+                and ts.waiting_branch is None
+                and len(ts.fe_queue) < self._fe_capacity)
+
+    def in_runahead(self, ts: ThreadState) -> bool:
+        """Whether ``ts`` is speculating past a blocked long-latency load.
+
+        Always False on the base core; :class:`repro.runahead.RunaheadCore`
+        overrides this.  Policies consult it to suppress fetch-window
+        bookkeeping during runahead episodes.
+        """
+        return False
+
+    def _fetch(self, cycle: int) -> None:
+        order = self.policy.fetch_order(cycle)
+        if not order:
+            return
+        cfg = self.cfg
+        budget = cfg.fetch_width
+        for ts, ignore_stall in order[:cfg.fetch_max_threads]:
+            if budget == 0:
+                break
+            budget -= self._fetch_thread(ts, budget, cycle, ignore_stall)
+
+    def _fetch_thread(self, ts: ThreadState, budget: int, cycle: int,
+                      ignore_stall: bool) -> int:
+        cfg = self.cfg
+        trace = ts.trace
+        allowed_end = ts.allowed_end
+        count = 0
+        fe_room = self._fe_capacity - len(ts.fe_queue)
+        while count < budget and fe_room > 0:
+            if not ignore_stall and allowed_end is not None \
+                    and ts.fetch_index > allowed_end:
+                break
+            instr = trace.get(ts.fetch_index)
+            pc_addr = trace.pc_address(instr.pc)
+            line = pc_addr >> self._line_shift
+            if line != ts.last_ifetch_line:
+                done = self.hierarchy.ifetch(ts.tid, pc_addr, cycle)
+                ts.last_ifetch_line = line
+                if done > cycle:
+                    ts.fetch_blocked_until = done
+                    break
+            self._gseq += 1
+            di = DynInstr(instr, ts.tid, ts.fetch_index, self._gseq,
+                          cycle + cfg.frontend_depth)
+            ts.fe_queue.append(di)
+            ts.fetch_index += 1
+            ts.icount += 1
+            ts.stats.fetched += 1
+            count += 1
+            fe_room -= 1
+            if di.is_load:
+                di.predicted_ll = ts.lll_pred.predict(instr.pc)
+            if di.is_branch:
+                taken = instr.taken
+                prediction = self.gshare.update(instr.pc, taken, ts.tid)
+                target_known = True
+                if taken:
+                    target_known = self.btb.lookup(instr.pc)
+                    self.btb.insert(instr.pc)
+                if prediction != taken or not target_known:
+                    di.mispredicted = True
+                    ts.waiting_branch = di
+                    self.policy.on_fetch(di, ts)
+                    break
+            self.policy.on_fetch(di, ts)
+            if taken_branch_ends_block(di):
+                break
+            allowed_end = ts.allowed_end  # policy may have updated it
+        return count
+
+    # ------------------------------------------------------------------ #
+    # flush (policy-triggered squash)
+    # ------------------------------------------------------------------ #
+
+    def flush_thread(self, ts: ThreadState, after_seq: int,
+                     cancel_fills: bool | None = None) -> int:
+        """Squash all of ``ts``'s instructions younger than ``after_seq``.
+
+        Rewinds fetch to ``after_seq + 1``; returns the number of squashed
+        instructions.  ``cancel_fills`` overrides the configured squash
+        semantics: ``False`` lets in-flight cache fills of squashed loads
+        continue (runahead exit — the fills *are* the prefetches), ``None``
+        defers to ``cfg.memory.cancel_squashed_fills``.
+        """
+        squashed = 0
+        fe = ts.fe_queue
+        while fe and fe[-1].seq > after_seq:
+            di = fe.pop()
+            di.squashed = True
+            ts.icount -= 1
+            squashed += 1
+        if cancel_fills is None:
+            cancel_fills = self.cfg.memory.cancel_squashed_fills
+        window = ts.window
+        while window and window[-1].seq > after_seq:
+            di = window.pop()
+            di.squashed = True
+            squashed += 1
+            if cancel_fills and di.fill_line is not None and not di.completed:
+                self.hierarchy.cancel_fill(di.fill_line, di.instr.addr,
+                                           self.cycle)
+            ts.rob_count -= 1
+            self.rob_used -= 1
+            if di.is_load or di.is_store:
+                ts.lsq_count -= 1
+                self.lsq_used -= 1
+            if di.in_iq:
+                di.in_iq = False
+                ts.icount -= 1
+                if di.iq_is_fp:
+                    ts.fq_count -= 1
+                    self.fq_used -= 1
+                else:
+                    ts.iq_count -= 1
+                    self.iq_used -= 1
+            if di.has_dest:
+                ts.rename_map[di.instr.dest] = di.old_map
+                if di.dest_fp:
+                    ts.fp_regs -= 1
+                    self.fp_regs_used -= 1
+                else:
+                    ts.int_regs -= 1
+                    self.int_regs_used -= 1
+            if di in ts.ll_owners:
+                ts.clear_owner(di, self.cycle)
+        if ts.waiting_branch is not None and ts.waiting_branch.squashed:
+            ts.waiting_branch = None
+        ts.fetch_index = after_seq + 1
+        ts.last_ifetch_line = -1
+        ts.stats.squashed += squashed
+        ts.stats.flushes += 1
+        return squashed
+
+    # ------------------------------------------------------------------ #
+    # fast-forward
+    # ------------------------------------------------------------------ #
+
+    def _head_retirable(self, ts: ThreadState, wb_full: bool) -> bool:
+        """Can ``ts``'s ROB head make commit-stage progress next cycle?
+
+        Part of the fast-forward probe; :class:`repro.runahead.RunaheadCore`
+        overrides it because pseudo-retirement and runahead entry can make
+        progress on heads the base commit stage would stall on.
+        """
+        window = ts.window
+        if not window or not window[0].completed:
+            return False
+        return not window[0].is_store or not wb_full
+
+    def _next_cycle(self, cycle: int) -> int:
+        nxt = cycle + 1
+        if self.policy.fetch_order(nxt):
+            return nxt
+        ready = self._ready
+        if ready[FuClass.INT_ALU] or ready[FuClass.LDST] or ready[FuClass.FP]:
+            return nxt
+        candidates = []
+        wb_full = len(self._wb) >= self.cfg.write_buffer_entries
+        for ts in self.threads:
+            if self._head_retirable(ts, wb_full):
+                return nxt
+            if ts.fe_queue:
+                head_ready = ts.fe_queue[0].fe_ready
+                if head_ready <= nxt:
+                    return nxt
+                candidates.append(head_ready)
+            if ts.fetch_blocked_until > nxt:
+                candidates.append(ts.fetch_blocked_until)
+        if self._events:
+            candidates.append(self._events[0][0])
+        if self._detects:
+            candidates.append(self._detects[0][0])
+        if self._wb:
+            candidates.append(self._wb[0])
+        if not candidates:
+            raise SimulationDeadlock(
+                f"no future events at cycle {cycle}; pipeline is wedged")
+        target = min(candidates)
+        if target <= nxt:
+            return nxt
+        skipped = target - nxt
+        for ts in self.threads:
+            if ts.policy_stalled:
+                ts.stats.policy_stall_cycles += skipped
+            if ts.waiting_branch is not None:
+                ts.stats.branch_stall_cycles += skipped
+        return target
+
+
+def taken_branch_ends_block(di: DynInstr) -> bool:
+    """A correctly-predicted taken branch ends the thread's fetch block."""
+    return di.is_branch and di.instr.taken and not di.mispredicted

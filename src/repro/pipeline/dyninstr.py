@@ -1,0 +1,74 @@
+"""In-flight dynamic instruction record."""
+
+from __future__ import annotations
+
+from repro.isa import Instr, Op
+
+
+class DynInstr:
+    """One instruction occupying pipeline resources.
+
+    ``seq`` is the per-thread dynamic index (equal to the trace index, which
+    makes flush-and-refetch a simple index rewind); ``gseq`` is a global age
+    stamp used for oldest-first issue ordering.
+    """
+
+    __slots__ = (
+        "instr", "thread", "seq", "gseq",
+        "pending", "waiters",
+        "fe_ready", "in_iq", "iq_is_fp", "issued",
+        "completed", "complete_cycle",
+        "has_dest", "dest_fp", "old_map",
+        "squashed",
+        "is_load", "is_store", "is_branch",
+        "is_ll", "predicted_ll", "mispredicted", "fill_line",
+        "level", "inv", "ll_parents", "ll_dep",
+    )
+
+    def __init__(self, instr: Instr, thread: int, seq: int, gseq: int,
+                 fe_ready: int):
+        self.instr = instr
+        self.thread = thread
+        self.seq = seq
+        self.gseq = gseq
+        self.pending = 0
+        self.waiters: list[DynInstr] | None = None
+        self.fe_ready = fe_ready
+        self.in_iq = False
+        self.iq_is_fp = False
+        self.issued = False
+        self.completed = False
+        self.complete_cycle = -1
+        self.has_dest = instr.dest is not None
+        self.dest_fp = bool(instr.dest is not None and instr.dest >= 32)
+        self.old_map: DynInstr | None = None
+        self.squashed = False
+        op = instr.op
+        self.is_load = op is Op.LOAD
+        self.is_store = op is Op.STORE
+        self.is_branch = op is Op.BRANCH
+        self.is_ll = False
+        self.predicted_ll: bool | None = None
+        self.mispredicted = False
+        self.fill_line: int | None = None
+        # Memory level that serviced this load (set at execute).
+        self.level = None
+        # Runahead "bogus value" flag: the result of this instruction is
+        # invalid and must not reach memory (Mutlu et al. 2003).
+        self.inv = False
+        # Producers this instruction may inherit a long-latency dependence
+        # from (populated only when dependence tracking is enabled), and
+        # the resolved transitively-dependent flag (final at commit).
+        self.ll_parents: tuple[DynInstr, ...] | None = None
+        self.ll_dep = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join((
+            "Q" if self.in_iq else "",
+            "I" if self.issued else "",
+            "C" if self.completed else "",
+            "X" if self.squashed else "",
+            "L" if self.is_ll else "",
+        ))
+        return (f"<DynInstr t{self.thread} #{self.seq} "
+                f"{self.instr.op.name} {flags}>")

@@ -1,0 +1,83 @@
+"""Per-thread and core-wide simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.hierarchy import mlp_from_intervals
+
+
+@dataclass
+class ThreadStats:
+    """Counters for one hardware thread."""
+
+    fetched: int = 0
+    committed: int = 0
+    squashed: int = 0
+    flushes: int = 0
+    loads_executed: int = 0
+    ll_loads: int = 0
+    policy_stall_cycles: int = 0
+    branch_stall_cycles: int = 0
+    # Front-end long-latency load predictor scoring (Figure 6).
+    lll_pred_loads: int = 0
+    lll_pred_correct: int = 0
+    lll_pred_miss_actual: int = 0
+    lll_pred_miss_correct: int = 0
+    # Runahead execution (repro.runahead): episodes entered/exited and
+    # instructions pseudo-retired while speculating past a blocked load.
+    runahead_entries: int = 0
+    runahead_exits: int = 0
+    runahead_pseudo_retired: int = 0
+
+    @property
+    def lll_predictor_accuracy(self) -> float:
+        """Correct hit/miss predictions per load (Figure 6)."""
+        if not self.lll_pred_loads:
+            return 1.0
+        return self.lll_pred_correct / self.lll_pred_loads
+
+    @property
+    def lll_predictor_miss_accuracy(self) -> float:
+        """Correct *miss* predictions per actual miss (Section 6.1)."""
+        if not self.lll_pred_miss_actual:
+            return 1.0
+        return self.lll_pred_miss_correct / self.lll_pred_miss_actual
+
+
+@dataclass
+class CoreStats:
+    """Whole-core results of one simulation run."""
+
+    cycles: int = 0
+    threads: list[ThreadStats] = field(default_factory=list)
+    resource_stall_cycles: int = 0
+    ll_intervals: list[tuple[int, int]] = field(default_factory=list)
+
+    def ipc(self, tid: int) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.threads[tid].committed / self.cycles
+
+    def cpi(self, tid: int) -> float:
+        committed = self.threads[tid].committed
+        if not committed:
+            return float("inf")
+        return self.cycles / committed
+
+    @property
+    def total_ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return sum(t.committed for t in self.threads) / self.cycles
+
+    @property
+    def mlp(self) -> float:
+        """Chou et al. MLP over the whole run."""
+        return mlp_from_intervals(self.ll_intervals)
+
+    def lll_per_kilo(self, tid: int) -> float:
+        committed = self.threads[tid].committed
+        if not committed:
+            return 0.0
+        return 1000.0 * self.threads[tid].ll_loads / committed

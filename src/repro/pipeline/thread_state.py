@@ -1,0 +1,120 @@
+"""Per-hardware-thread pipeline state."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.config import SMTConfig
+from repro.pipeline.stats import ThreadStats
+from repro.predictors import (
+    LLL_PREDICTORS,
+    LLSR,
+    BinaryMLPPredictor,
+    MLPDistancePredictor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.dyninstr import DynInstr
+    from repro.workloads.trace import SyntheticTrace
+
+
+class ThreadState:
+    """Everything the core tracks per hardware thread.
+
+    The paper's per-thread predictor hardware lives here: the long-latency
+    load predictor (front end), the MLP distance predictor, the binary MLP
+    predictor, and the LLSR that trains the latter two from the commit
+    stream.
+    """
+
+    __slots__ = (
+        "tid", "trace", "fetch_index",
+        "fe_queue", "window", "rename_map",
+        "icount", "rob_count", "lsq_count", "iq_count", "fq_count",
+        "int_regs", "fp_regs",
+        "fetch_blocked_until", "waiting_branch",
+        "allowed_end", "ll_owners", "stall_start",
+        "last_ifetch_line",
+        "outstanding_misses",
+        "llsr", "lll_pred", "mlp_pred", "binary_mlp",
+        "stats", "policy_data", "commit_cycles",
+    )
+
+    def __init__(self, tid: int, trace: "SyntheticTrace", cfg: SMTConfig):
+        self.tid = tid
+        self.trace = trace
+        self.fetch_index = 0
+        self.fe_queue: deque[DynInstr] = deque()
+        self.window: deque[DynInstr] = deque()
+        self.rename_map: dict[int, DynInstr | None] = {}
+        self.icount = 0
+        self.rob_count = 0
+        self.lsq_count = 0
+        self.iq_count = 0
+        self.fq_count = 0
+        self.int_regs = 0
+        self.fp_regs = 0
+        self.fetch_blocked_until = 0
+        self.waiting_branch: DynInstr | None = None
+        # Policy state: fetch allowed up to this per-thread sequence number
+        # (inclusive); None means unrestricted.  ``ll_owners`` maps each
+        # unresolved long-latency load driving the restriction to its
+        # allowed-end; the effective end is their maximum.
+        self.allowed_end: int | None = None
+        self.ll_owners: dict[DynInstr, int] = {}
+        self.stall_start = -1
+        self.last_ifetch_line = -1
+        self.outstanding_misses = 0
+        pred_cfg = cfg.predictors
+        lll_cls = LLL_PREDICTORS[pred_cfg.lll_kind]
+        self.lll_pred = lll_cls(pred_cfg.lll_entries, pred_cfg.lll_counter_bits)
+        self.mlp_pred = MLPDistancePredictor(
+            pred_cfg.mlp_entries, max_distance=max(cfg.llsr_length - 1, 1))
+        self.binary_mlp = BinaryMLPPredictor(pred_cfg.mlp_entries)
+        self.llsr = LLSR(cfg.llsr_length, on_measure=self._train_mlp,
+                         exclude_dependent=pred_cfg.dependence_aware)
+        self.stats = ThreadStats()
+        self.policy_data: dict = {}
+        # When not None, the commit cycle of every instruction is appended
+        # here (used to evaluate single-threaded CPI at arbitrary
+        # instruction counts, per the paper's Section 5 methodology).
+        self.commit_cycles: list[int] | None = None
+
+    def _train_mlp(self, pc: int, distance: int) -> None:
+        self.mlp_pred.train(pc, distance)
+        self.binary_mlp.train(pc, distance)
+
+    # ------------------------------------------------------------------ #
+    # policy helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def policy_stalled(self) -> bool:
+        """True when the fetch policy forbids fetching past allowed_end."""
+        return (self.allowed_end is not None
+                and self.fetch_index > self.allowed_end)
+
+    def set_owner(self, owner: "DynInstr", end: int, cycle: int) -> None:
+        """Register a long-latency load restricting fetch to ``end``."""
+        self.ll_owners[owner] = end
+        self._recompute_allowed_end(cycle)
+
+    def clear_owner(self, owner: "DynInstr", cycle: int) -> None:
+        if owner in self.ll_owners:
+            del self.ll_owners[owner]
+            self._recompute_allowed_end(cycle)
+
+    def _recompute_allowed_end(self, cycle: int) -> None:
+        if self.ll_owners:
+            self.allowed_end = max(self.ll_owners.values())
+            if self.stall_start < 0:
+                self.stall_start = cycle
+        else:
+            self.allowed_end = None
+            self.stall_start = -1
+
+    def oldest_owner(self) -> "DynInstr | None":
+        if not self.ll_owners:
+            return None
+        return min(self.ll_owners, key=lambda di: di.seq)

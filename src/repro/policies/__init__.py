@@ -1,0 +1,126 @@
+"""SMT fetch policies and resource-partitioning schemes.
+
+======================  =============================================
+name                    policy
+======================  =============================================
+icount                  ICOUNT 2.4 baseline (Tullsen et al. 1996)
+stall                   stall fetch on detected LL load (T&B 2001)
+pred_stall              predictive stall fetch (Cazorla et al. 2004a)
+mlp_stall               MLP-aware stall fetch (this paper)
+flush                   flush on detected LL load (T&B 2001, TM/next)
+mlp_flush               MLP-aware flush (this paper, headline policy)
+binary_mlp_flush        alternative (c): binary MLP + flush
+mlp_flush_rs            alternative (d): MLP distance + flush at
+                        resource stall
+binary_mlp_flush_rs     alternative (e): binary MLP + flush at
+                        resource stall
+static                  static 1/n resource partitioning
+dcra                    dynamically controlled resource allocation
+dg                      data miss gating (El-Moursy & Albonesi 2003)
+pdg                     predictive data miss gating (same)
+learning                hill-climbing resource partitioning
+                        (Choi & Yeung 2006)
+mlp_dcra                MLP-aware DCRA (paper §7.2 future work)
+cgmt                    coarse-grained switch-on-miss (paper §7.3)
+mlp_cgmt                MLP-aware CGMT switching (paper §7.3)
+runahead                runahead threads (Ramirez et al. 2008)
+mlp_runahead            MLP-distance-gated runahead (paper §7.2)
+======================  =============================================
+"""
+
+from repro.policies.base import FetchPolicy, LongLatencyAwarePolicy
+from repro.policies.icount import ICountPolicy
+from repro.policies.stall import StallPolicy
+from repro.policies.predictive_stall import PredictiveStallPolicy
+from repro.policies.mlp_stall import MLPStallPolicy
+from repro.policies.flush import FlushPolicy
+from repro.policies.mlp_flush import MLPFlushPolicy
+from repro.policies.alternatives import (
+    BinaryMLPFlushAtStallPolicy,
+    BinaryMLPFlushPolicy,
+    MLPDistanceFlushAtStallPolicy,
+)
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.policies.dcra import DCRAPolicy
+from repro.policies.pdg import DataGatingPolicy, PredictiveDataGatingPolicy
+from repro.policies.learning import LearningPartitionPolicy
+from repro.policies.mlp_dcra import MLPAwareDCRAPolicy
+from repro.policies.cgmt import CGMTPolicy, MLPAwareCGMTPolicy
+from repro.runahead.policy import MLPRunaheadPolicy, RunaheadPolicy
+
+POLICIES: dict[str, type[FetchPolicy]] = {
+    cls.name: cls
+    for cls in (
+        ICountPolicy,
+        StallPolicy,
+        PredictiveStallPolicy,
+        MLPStallPolicy,
+        FlushPolicy,
+        MLPFlushPolicy,
+        BinaryMLPFlushPolicy,
+        MLPDistanceFlushAtStallPolicy,
+        BinaryMLPFlushAtStallPolicy,
+        StaticPartitionPolicy,
+        DCRAPolicy,
+        DataGatingPolicy,
+        PredictiveDataGatingPolicy,
+        LearningPartitionPolicy,
+        MLPAwareDCRAPolicy,
+        CGMTPolicy,
+        MLPAwareCGMTPolicy,
+        RunaheadPolicy,
+        MLPRunaheadPolicy,
+    )
+}
+
+#: The six policies compared in Figures 9/10/13/14, in plot order.
+MAIN_COMPARISON = ("icount", "stall", "pred_stall", "mlp_stall",
+                   "flush", "mlp_flush")
+
+#: The five alternatives of Figures 20/21, in plot order (a)–(e).
+ALTERNATIVES = ("flush", "mlp_flush", "binary_mlp_flush",
+                "mlp_flush_rs", "binary_mlp_flush_rs")
+
+#: Related-work baselines and extensions beyond the paper's headline set.
+EXTENSIONS = ("dg", "pdg", "learning", "mlp_dcra", "cgmt", "mlp_cgmt",
+              "runahead", "mlp_runahead")
+
+
+def make_policy(name: str, **kwargs) -> FetchPolicy:
+    """Instantiate a policy by its registry name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ALTERNATIVES",
+    "BinaryMLPFlushAtStallPolicy",
+    "BinaryMLPFlushPolicy",
+    "CGMTPolicy",
+    "DCRAPolicy",
+    "DataGatingPolicy",
+    "EXTENSIONS",
+    "FetchPolicy",
+    "FlushPolicy",
+    "ICountPolicy",
+    "LearningPartitionPolicy",
+    "LongLatencyAwarePolicy",
+    "MAIN_COMPARISON",
+    "MLPAwareCGMTPolicy",
+    "MLPAwareDCRAPolicy",
+    "MLPDistanceFlushAtStallPolicy",
+    "MLPFlushPolicy",
+    "MLPRunaheadPolicy",
+    "MLPStallPolicy",
+    "POLICIES",
+    "PredictiveDataGatingPolicy",
+    "PredictiveStallPolicy",
+    "RunaheadPolicy",
+    "StallPolicy",
+    "StaticPartitionPolicy",
+    "make_policy",
+]

@@ -1,0 +1,109 @@
+"""Fetch-policy interface and the shared ICOUNT + COT machinery.
+
+Every policy in the paper extends ICOUNT (Tullsen et al. 1996): each cycle,
+fetch goes to the threads with the fewest instructions in the front-end
+pipeline and issue queues.  All long-latency-aware policies additionally
+implement COT — *continue the oldest thread* (Cazorla et al. 2004a): when
+every thread is stalled on a long-latency load, the thread that stalled
+first is allowed to keep allocating, because its data will return first.
+
+Policies restrict fetch through the per-thread ``allowed_end`` mechanism
+(see :class:`repro.pipeline.thread_state.ThreadState`): each unresolved
+long-latency "owner" load grants fetch up to some per-thread sequence
+number; the thread fetch-stalls past the maximum grant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.core import SMTCore
+    from repro.pipeline.dyninstr import DynInstr
+    from repro.pipeline.thread_state import ThreadState
+
+
+class FetchPolicy:
+    """Base class: plain ICOUNT with COT support for subclasses."""
+
+    name = "icount"
+    #: Set by subclasses that must observe every resource-stall cycle
+    #: (disables fast-forwarding past dispatch-blocked cycles).
+    reacts_to_resource_stall = False
+    #: Core implementation this policy requires; ``None`` means the plain
+    #: :class:`repro.pipeline.core.SMTCore`.  Runahead policies point this
+    #: at :class:`repro.runahead.RunaheadCore`; the experiment runner
+    #: honours it when constructing simulations.
+    core_class: type | None = None
+
+    def __init__(self) -> None:
+        self.core: SMTCore | None = None
+
+    def attach(self, core: "SMTCore") -> None:
+        self.core = core
+
+    # ------------------------------------------------------------------ #
+    # fetch selection (ICOUNT order + COT)
+    # ------------------------------------------------------------------ #
+
+    def fetch_order(self, cycle: int) -> list[tuple["ThreadState", bool]]:
+        """Threads allowed to fetch this cycle, best first.
+
+        Returns ``(thread, ignore_stall)`` pairs; ``ignore_stall`` marks a
+        COT grant that overrides the thread's own policy stall.  Must be
+        side-effect free (the engine also calls it when probing whether a
+        future cycle can do useful work).
+        """
+        core = self.core
+        eligible = [ts for ts in core.threads
+                    if core.fetchable(ts, cycle) and not ts.policy_stalled]
+        if eligible:
+            eligible.sort(key=lambda ts: ts.icount)
+            return [(ts, False) for ts in eligible]
+        # COT applies only when *every* thread is stalled because of a
+        # long-latency load — a thread that is merely back-pressured (full
+        # fetch queue, unresolved branch) will resume by itself, and
+        # granting a stalled thread fetch in the meantime would defeat the
+        # stall/flush policy.
+        if not all(ts.policy_stalled for ts in core.threads):
+            return []
+        stalled = [ts for ts in core.threads if core.fetchable(ts, cycle)]
+        if not stalled:
+            return []
+        oldest = min(stalled, key=lambda ts: ts.stall_start)
+        return [(oldest, True)]
+
+    # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+
+    def on_fetch(self, di: "DynInstr", ts: "ThreadState") -> None:
+        """Called for every instruction the front end fetches."""
+
+    def on_ll_detect(self, di: "DynInstr", ts: "ThreadState") -> None:
+        """Called when a load is *observed* to be long-latency (post-L3)."""
+
+    def on_load_complete(self, di: "DynInstr", ts: "ThreadState") -> None:
+        """Called when any load's data arrives."""
+
+    def can_dispatch(self, ts: "ThreadState", di: "DynInstr") -> bool:
+        """Resource-partitioning hook; False blocks dispatch this cycle."""
+        return True
+
+    def on_resource_stall(self, cycle: int) -> None:
+        """Called on cycles where dispatch is blocked by a full resource."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class LongLatencyAwarePolicy(FetchPolicy):
+    """Shared helper for policies keyed on long-latency owner loads."""
+
+    def on_load_complete(self, di: "DynInstr", ts: "ThreadState") -> None:
+        ts.clear_owner(di, self.core.cycle)
+
+    def _flush_to(self, ts: "ThreadState", after_seq: int) -> None:
+        """Flush ``ts`` past ``after_seq`` if anything newer was fetched."""
+        if ts.fetch_index - 1 > after_seq:
+            self.core.flush_thread(ts, after_seq)

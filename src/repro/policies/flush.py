@@ -1,0 +1,23 @@
+"""Flush on detected long-latency loads (Tullsen & Brown 2001).
+
+The "TM/next" configuration the paper compares against: trigger on a
+detected long-latency miss and flush starting from the instruction *after*
+the long-latency load, freeing all resources the stalled thread held; the
+thread fetch-stalls until the data returns, then refetches.  In-flight
+misses of flushed instructions are not cancelled, which gives refetched
+loads a prefetching effect.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import LongLatencyAwarePolicy
+
+
+class FlushPolicy(LongLatencyAwarePolicy):
+    """Flush past every detected long-latency load (T&B 2001, TM/next)."""
+
+    name = "flush"
+
+    def on_ll_detect(self, di, ts):
+        self._flush_to(ts, di.seq)
+        ts.set_owner(di, di.seq, self.core.cycle)

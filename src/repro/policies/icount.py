@@ -1,0 +1,15 @@
+"""ICOUNT 2.4 (Tullsen et al. 1996): the baseline fetch policy.
+
+Fetches from the threads least represented in the front-end pipeline and the
+instruction queues; no long-latency awareness at all.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import FetchPolicy
+
+
+class ICountPolicy(FetchPolicy):
+    """ICOUNT 2.4 baseline: balance front-end occupancy, nothing else."""
+
+    name = "icount"

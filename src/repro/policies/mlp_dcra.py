@@ -1,0 +1,71 @@
+"""MLP-aware dynamic resource partitioning (paper §7.2 future work).
+
+Section 7.2 closes with: "An interesting avenue for future work may be to
+make these explicit resource partitioning mechanisms MLP-aware."  This
+module implements that suggestion on top of DCRA.
+
+Plain DCRA gives every *slow* thread (one with an outstanding L1D miss) the
+same fixed multiplicative share bonus, "irrespective of the amount of MLP".
+Here the bonus instead scales with the thread's recent *predicted MLP
+distance*: a thread whose misses are isolated (distance ≈ 0) receives no
+bonus at all — its stalled instructions would hold entries for nothing —
+while a thread whose misses cluster across most of its ROB share receives
+the full ``slow_weight`` bonus, because it genuinely needs the window to
+expose its MLP.
+
+The per-thread MLP-need signal is an exponential moving average of the MLP
+distance predictions made at each long-latency detection, normalized by the
+per-thread LLSR length (the maximum observable distance).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.dcra import DCRAPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.dyninstr import DynInstr
+    from repro.pipeline.thread_state import ThreadState
+
+
+class MLPAwareDCRAPolicy(DCRAPolicy):
+    """DCRA whose slow-thread bonus tracks predicted MLP distance."""
+
+    name = "mlp_dcra"
+
+    def __init__(self, slow_weight: float = 2.0, ema_alpha: float = 0.25):
+        super().__init__(slow_weight=slow_weight)
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        self.ema_alpha = ema_alpha
+        self._mlp_need: list[float] = []
+
+    def attach(self, core):
+        super().attach(core)
+        self._mlp_need = [0.0] * core.cfg.num_threads
+
+    def on_ll_detect(self, di: "DynInstr", ts: "ThreadState") -> None:
+        distance = ts.mlp_pred.predict(di.instr.pc)
+        need = distance / max(self.core.cfg.llsr_length - 1, 1)
+        alpha = self.ema_alpha
+        self._mlp_need[ts.tid] = (
+            alpha * need + (1.0 - alpha) * self._mlp_need[ts.tid])
+
+    def _limits(self, ts: "ThreadState") -> tuple[float, ...]:
+        threads = self.core.threads
+        bonus = self.slow_weight - 1.0
+        weights = [
+            1.0 + bonus * min(self._mlp_need[t.tid], 1.0)
+            if t.outstanding_misses > 0 else 1.0
+            for t in threads
+        ]
+        total = sum(weights)
+        share = weights[ts.tid] / total
+        cfg = self.core.cfg
+        return (cfg.rob_size * share,
+                cfg.lsq_size * share,
+                cfg.int_iq_size * share,
+                cfg.fp_iq_size * share,
+                cfg.int_rename_regs * share,
+                cfg.fp_rename_regs * share)

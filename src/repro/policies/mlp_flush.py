@@ -1,0 +1,41 @@
+"""MLP-aware flush — the paper's headline policy (Section 4.3).
+
+On a *detected* long-latency load (no prediction involved), predict the MLP
+distance ``m``:
+
+* if more than ``m`` instructions were already fetched past the load, flush
+  the excess (keeping exactly the ``m`` instructions needed to expose the
+  available MLP), and fetch-stall;
+* if fewer, keep fetching until ``m`` instructions past the load, then
+  fetch-stall.
+
+Either way the thread resumes fetching when the miss data returns.  With an
+isolated miss (m = 0) this degenerates to the Tullsen & Brown flush policy;
+with MLP it keeps just enough resources to let the independent misses
+overlap.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import LongLatencyAwarePolicy
+
+
+class MLPFlushPolicy(LongLatencyAwarePolicy):
+    """Flush/stall at the predicted MLP distance (the paper's headline)."""
+
+    name = "mlp_flush"
+
+    def on_ll_detect(self, di, ts):
+        # Episode anchoring: the *initial* long-latency load of a miss
+        # episode defines the MLP window.  Loads detected while the window
+        # is active are the very companions the window exists to expose —
+        # they do not extend it (otherwise a stream of overlapping misses
+        # would slide the window forever and the thread would never yield
+        # its resources).  A new episode starts once the anchor's data has
+        # returned and fetch has resumed.
+        if ts.ll_owners:
+            return
+        distance = ts.mlp_pred.predict(di.instr.pc)
+        end = di.seq + distance
+        ts.set_owner(di, end, self.core.cycle)
+        self._flush_to(ts, end)

@@ -1,0 +1,26 @@
+"""MLP-aware stall fetch (the paper, Section 4.3).
+
+In the front end, a load predicted long-latency consults the MLP distance
+predictor: the thread may fetch ``m`` further instructions — just enough to
+expose the predicted MLP — and then fetch-stalls until the load's data
+returns.  An isolated miss (m = 0) stalls immediately, handing all further
+resources to the co-scheduled threads.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import LongLatencyAwarePolicy
+
+
+class MLPStallPolicy(LongLatencyAwarePolicy):
+    """Fetch-stall at the predicted MLP distance (the paper, §4.3)."""
+
+    name = "mlp_stall"
+
+    def on_fetch(self, di, ts):
+        if di.is_load and di.predicted_ll and not ts.ll_owners:
+            # Episode anchoring, as in the MLP-aware flush policy: the
+            # first predicted long-latency load opens the window; predicted
+            # companions inside it do not extend it.
+            distance = ts.mlp_pred.predict(di.instr.pc)
+            ts.set_owner(di, di.seq + distance, self.core.cycle)

@@ -1,0 +1,27 @@
+"""Predictive stall fetch (Cazorla et al. 2004a).
+
+Extends the stall policy by predicting long-latency loads in the front end
+with the miss pattern predictor: a predicted-long load fetch-stalls its
+thread immediately (no need to wait ~L2+L3 lookup latency for detection).
+Loads the predictor misses are still caught by detection, as in the stall
+policy.  A falsely-predicted load resolves quickly and the stall is lifted
+when it completes.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import LongLatencyAwarePolicy
+
+
+class PredictiveStallPolicy(LongLatencyAwarePolicy):
+    """Fetch-stall on front-end-predicted misses (Cazorla et al. 2004a)."""
+
+    name = "pred_stall"
+
+    def on_fetch(self, di, ts):
+        if di.is_load and di.predicted_ll:
+            ts.set_owner(di, di.seq, self.core.cycle)
+
+    def on_ll_detect(self, di, ts):
+        if di not in ts.ll_owners:
+            ts.set_owner(di, di.seq, self.core.cycle)

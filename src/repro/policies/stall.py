@@ -1,0 +1,19 @@
+"""Stall fetch on detected long-latency loads (Tullsen & Brown 2001).
+
+As soon as a load is observed to miss beyond the L3 (or D-TLB), its thread
+stops fetching until the data returns.  Instructions already fetched past
+the load keep their resources (no flush).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import LongLatencyAwarePolicy
+
+
+class StallPolicy(LongLatencyAwarePolicy):
+    """Fetch-stall on every detected long-latency load (T&B 2001)."""
+
+    name = "stall"
+
+    def on_ll_detect(self, di, ts):
+        ts.set_owner(di, di.seq, self.core.cycle)

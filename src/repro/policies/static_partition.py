@@ -1,0 +1,47 @@
+"""Static resource partitioning (Raasch & Reinhardt 2003; Pentium-4 style).
+
+Every buffer resource (ROB, load/store queue, issue queues, rename register
+files) is split 1/n per thread; a thread can never allocate beyond its
+share.  The functional units remain shared.  Fetch itself follows ICOUNT.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Op
+from repro.policies.base import FetchPolicy
+
+
+class StaticPartitionPolicy(FetchPolicy):
+    """Equal 1/n static split of every shared buffer resource."""
+
+    name = "static"
+
+    def attach(self, core):
+        super().attach(core)
+        cfg = core.cfg
+        n = cfg.num_threads
+        self._rob_share = cfg.rob_size // n
+        self._lsq_share = cfg.lsq_size // n
+        self._iq_share = cfg.int_iq_size // n
+        self._fq_share = cfg.fp_iq_size // n
+        self._int_share = cfg.int_rename_regs // n
+        self._fp_share = cfg.fp_rename_regs // n
+
+    def can_dispatch(self, ts, di):
+        if ts.rob_count >= self._rob_share:
+            return False
+        if (di.is_load or di.is_store) and ts.lsq_count >= self._lsq_share:
+            return False
+        op = di.instr.op
+        if op is Op.FALU or op is Op.FMUL:
+            if ts.fq_count >= self._fq_share:
+                return False
+        elif ts.iq_count >= self._iq_share:
+            return False
+        if di.has_dest:
+            if di.dest_fp:
+                if ts.fp_regs >= self._fp_share:
+                    return False
+            elif ts.int_regs >= self._int_share:
+                return False
+        return True

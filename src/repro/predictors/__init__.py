@@ -1,0 +1,36 @@
+"""The paper's predictors (Section 4).
+
+* Long-latency load predictors queried in the front end:
+  :class:`MissPatternPredictor` (Limousin et al., the paper's choice),
+  :class:`LastValuePredictor` and :class:`TwoBitMissPredictor`
+  (El-Moursy & Albonesi) as the explored alternatives.
+* :class:`LLSR` — the long-latency shift register that observes the commit
+  stream and measures MLP distances (Figure 3).
+* :class:`MLPDistancePredictor` — PC-indexed last-value predictor of the MLP
+  distance (Section 4.2).
+* :class:`BinaryMLPPredictor` — 1-bit MLP/no-MLP predictor used by the
+  alternative policies (c) and (e) of Section 6.5.
+"""
+
+from repro.predictors.miss_pattern import MissPatternPredictor
+from repro.predictors.last_value import LastValuePredictor
+from repro.predictors.two_bit import TwoBitMissPredictor
+from repro.predictors.llsr import LLSR
+from repro.predictors.mlp_distance import MLPDistancePredictor
+from repro.predictors.binary_mlp import BinaryMLPPredictor
+
+LLL_PREDICTORS = {
+    "miss_pattern": MissPatternPredictor,
+    "last_value": LastValuePredictor,
+    "two_bit": TwoBitMissPredictor,
+}
+
+__all__ = [
+    "BinaryMLPPredictor",
+    "LLL_PREDICTORS",
+    "LLSR",
+    "LastValuePredictor",
+    "MLPDistancePredictor",
+    "MissPatternPredictor",
+    "TwoBitMissPredictor",
+]

@@ -1,0 +1,34 @@
+"""Binary MLP predictor — alternatives (c) and (e) of Section 6.5.
+
+One bit per entry: did the previous long-latency occurrence of this static
+load exhibit MLP (a nonzero MLP distance)?
+
+The cold-start default is *optimistic* (assume MLP): the policies built on
+this predictor flush a thread when no MLP is predicted, so a pessimistic
+default would flush on first sight of every static load — and because the
+predictor trains from the commit stream, a thread flushed into starvation
+can never train its way out of it (a cold-start spiral we observed on
+miss-heavy pairs).  Assuming MLP until evidence says otherwise matches the
+policy's intent: flush only on observed-isolated misses.
+"""
+
+from __future__ import annotations
+
+
+class BinaryMLPPredictor:
+    __slots__ = ("_table", "_entries", "lookups")
+
+    def __init__(self, entries: int = 2048):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self._entries = entries
+        self._table: dict[int, bool] = {}
+        self.lookups = 0
+
+    def predict(self, pc: int) -> bool:
+        """True when MLP is expected for this long-latency load."""
+        self.lookups += 1
+        return self._table.get(pc % self._entries, True)
+
+    def train(self, pc: int, distance: int) -> None:
+        self._table[pc % self._entries] = distance > 0

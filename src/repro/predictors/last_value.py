@@ -1,0 +1,28 @@
+"""Last-value long-latency load predictor (explored alternative, §4.1).
+
+Predicts that a static load repeats its most recent hit/miss outcome.
+"""
+
+from __future__ import annotations
+
+
+class LastValuePredictor:
+    __slots__ = ("_table", "_entries", "lookups", "predicted_ll")
+
+    def __init__(self, entries: int = 2048, counter_bits: int = 1):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self._entries = entries
+        self._table: dict[int, bool] = {}
+        self.lookups = 0
+        self.predicted_ll = 0
+
+    def predict(self, pc: int) -> bool:
+        self.lookups += 1
+        prediction = self._table.get(pc % self._entries, False)
+        if prediction:
+            self.predicted_ll += 1
+        return prediction
+
+    def train(self, pc: int, long_latency: bool) -> None:
+        self._table[pc % self._entries] = long_latency

@@ -1,0 +1,89 @@
+"""Long-latency shift register (LLSR) — Figure 3 of the paper.
+
+One LLSR per thread, with ``ROB size / number of threads`` entries.  Every
+committed instruction shifts the register one position from tail to head and
+inserts a bit at the tail: 1 for a long-latency load, 0 otherwise; the load
+PC is tracked alongside.  When a 1 exits at the head, the **MLP distance**
+is the position of the last (furthest) 1 in the register, read from head to
+tail — the number of instructions one must fetch past the long-latency load
+to expose all the MLP available within the ROB window (0 = isolated miss).
+The measured distance trains the MLP distance predictor.
+
+Section 4.2 notes that this implementation "does not make a distinction
+between dependent and independent long-latency loads", overestimating the
+MLP distance when the trailing loads depend on the head load, and names
+excluding dependent loads as future work.  ``exclude_dependent=True``
+implements that extension: a long-latency load known to depend on an
+earlier long-latency load inserts a 0 instead of a 1, so it neither counts
+as an MLP companion nor triggers a measurement of its own.  Dependent
+misses cannot overlap with their producers, so the distances measured this
+way reflect only *exploitable* MLP.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+
+class LLSR:
+    """Commit-stream observer that measures MLP distances."""
+
+    __slots__ = ("length", "_bits", "_pcs", "_on_measure", "measured",
+                 "exclude_dependent", "suppressed")
+
+    def __init__(self, length: int,
+                 on_measure: Callable[[int, int], None] | None = None,
+                 exclude_dependent: bool = False):
+        """``on_measure(pc, distance)`` fires when a 1 exits the head."""
+        if length < 2:
+            raise ValueError("LLSR needs at least two entries")
+        self.length = length
+        self._bits: deque[int] = deque()
+        self._pcs: deque[int] = deque()
+        self._on_measure = on_measure
+        self.measured: list[tuple[int, int]] = []
+        self.exclude_dependent = exclude_dependent
+        #: Long-latency loads demoted to 0-bits by dependence filtering.
+        self.suppressed = 0
+
+    def commit(self, is_long_latency_load: bool, pc: int = -1,
+               dependent: bool = False) -> int | None:
+        """Shift one committed instruction in; returns a measured distance.
+
+        ``dependent`` marks a long-latency load whose address depends
+        (transitively) on an earlier long-latency load; it is demoted to a
+        0-bit when dependence filtering is enabled.  The return value is
+        the MLP distance of the long-latency load that exited the head
+        this commit, or ``None`` when no 1 exited.
+        """
+        insert = is_long_latency_load
+        if insert and dependent and self.exclude_dependent:
+            insert = False
+            self.suppressed += 1
+        bits = self._bits
+        bits.append(1 if insert else 0)
+        self._pcs.append(pc if insert else -1)
+        if len(bits) <= self.length:
+            return None
+        head_bit = bits.popleft()
+        head_pc = self._pcs.popleft()
+        if not head_bit:
+            return None
+        distance = self._last_one_position()
+        self.measured.append((head_pc, distance))
+        if self._on_measure is not None:
+            self._on_measure(head_pc, distance)
+        return distance
+
+    def _last_one_position(self) -> int:
+        """Position (1-based from just past the head) of the furthest 1."""
+        bits = self._bits
+        for idx in range(len(bits) - 1, -1, -1):
+            if bits[idx]:
+                return idx + 1
+        return 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._bits)

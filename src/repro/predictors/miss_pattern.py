@@ -1,0 +1,72 @@
+"""Miss pattern predictor for long-latency loads (Limousin et al. 2001).
+
+Figure 2 of the paper: a 2K-entry table indexed by load PC.  Each entry
+records (i) the number of hits by the same static load between the two most
+recent long-latency misses, and (ii) the number of hits since the last
+long-latency miss.  When (ii) reaches (i), the next execution of that load
+is predicted long-latency — a last-value predictor on the hit run-length
+between misses.  6 bits per entry (12 Kbits total); counters saturate.
+"""
+
+from __future__ import annotations
+
+
+class _Entry:
+    __slots__ = ("period", "since")
+
+    def __init__(self) -> None:
+        self.period = -1   # hits between the two most recent LL misses
+        self.since = 0     # hits since the last LL miss
+
+
+class MissPatternPredictor:
+    """Front-end long-latency load predictor, one table per thread."""
+
+    __slots__ = ("_table", "_entries", "_max_count",
+                 "lookups", "predicted_ll")
+
+    def __init__(self, entries: int = 2048, counter_bits: int = 6):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self._entries = entries
+        self._max_count = (1 << counter_bits) - 1
+        self._table: dict[int, _Entry] = {}
+        self.lookups = 0
+        self.predicted_ll = 0
+
+    def _entry(self, pc: int) -> _Entry:
+        idx = pc % self._entries
+        e = self._table.get(idx)
+        if e is None:
+            e = _Entry()
+            self._table[idx] = e
+        return e
+
+    def predict(self, pc: int) -> bool:
+        """Front-end query: will this load be long-latency?
+
+        Predicts long-latency exactly when the hits-since-last-miss count
+        matches the recorded hit run-length (the paper's "in case the
+        latter matches the former").  A *saturated* period means the run
+        length exceeded the 6-bit counter — the pattern is effectively
+        "misses are rare" — so no prediction is made; without this guard a
+        saturated entry would predict long-latency forever.
+        """
+        self.lookups += 1
+        e = self._table.get(pc % self._entries)
+        if e is None or e.period < 0 or e.period >= self._max_count:
+            return False
+        prediction = e.since == e.period
+        if prediction:
+            self.predicted_ll += 1
+        return prediction
+
+    def train(self, pc: int, long_latency: bool) -> None:
+        """Execute-time update with the load's observed outcome."""
+        e = self._entry(pc)
+        if long_latency:
+            e.period = e.since
+            e.since = 0
+        else:
+            if e.since < self._max_count:
+                e.since += 1

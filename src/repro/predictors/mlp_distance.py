@@ -1,0 +1,91 @@
+"""MLP distance predictor (Section 4.2).
+
+A 2K-entry table indexed by the long-latency load PC; each entry stores the
+most recently measured MLP distance for that static load (a last-value
+predictor, log2(ROB/threads) = 7 bits per entry, 14 Kbits total).
+
+The predictor also scores itself at every training update, producing the
+statistics of Figures 7 and 8: the stored value at update time *is* the
+prediction that would have been made for this occurrence, and the incoming
+measurement is the ground truth.
+"""
+
+from __future__ import annotations
+
+
+class MLPDistancePredictor:
+    __slots__ = ("_table", "_entries", "_max_distance",
+                 "true_pos", "true_neg", "false_pos", "false_neg",
+                 "far_enough", "too_short", "lookups")
+
+    def __init__(self, entries: int = 2048, max_distance: int = 127):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if max_distance <= 0:
+            raise ValueError("max_distance must be positive")
+        self._entries = entries
+        self._max_distance = max_distance
+        self._table: dict[int, int] = {}
+        # Figure 7: binary MLP / no-MLP classification outcomes.
+        self.true_pos = 0
+        self.true_neg = 0
+        self.false_pos = 0
+        self.false_neg = 0
+        # Figure 8: is the predicted distance at least the actual distance?
+        self.far_enough = 0
+        self.too_short = 0
+        self.lookups = 0
+
+    def predict(self, pc: int, default: int = 0) -> int:
+        """Predicted MLP distance for a long-latency load at ``pc``."""
+        self.lookups += 1
+        return self._table.get(pc % self._entries, default)
+
+    def train(self, pc: int, distance: int) -> None:
+        """Insert a freshly measured MLP distance (from the LLSR)."""
+        distance = min(distance, self._max_distance)
+        idx = pc % self._entries
+        predicted = self._table.get(idx, 0)
+        if predicted > 0:
+            if distance > 0:
+                self.true_pos += 1
+            else:
+                self.false_pos += 1
+        else:
+            if distance > 0:
+                self.false_neg += 1
+            else:
+                self.true_neg += 1
+        if predicted >= distance:
+            self.far_enough += 1
+        else:
+            self.too_short += 1
+        self._table[idx] = distance
+
+    # ------------------------------------------------------------------ #
+    # accuracy summaries (Figures 7 and 8)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def updates(self) -> int:
+        return self.true_pos + self.true_neg + self.false_pos + self.false_neg
+
+    @property
+    def binary_accuracy(self) -> float:
+        total = self.updates
+        return (self.true_pos + self.true_neg) / total if total else 1.0
+
+    @property
+    def distance_accuracy(self) -> float:
+        total = self.far_enough + self.too_short
+        return self.far_enough / total if total else 1.0
+
+    def classification_fractions(self) -> dict[str, float]:
+        """TP/TN/FP/FN fractions as plotted in Figure 7."""
+        total = self.updates or 1
+        return {
+            "true_pos": self.true_pos / total,
+            "true_neg": self.true_neg / total,
+            "false_pos": self.false_pos / total,
+            "false_neg": self.false_neg / total,
+        }

@@ -1,0 +1,36 @@
+"""Two-bit saturating-counter load miss predictor (El-Moursy & Albonesi 2003).
+
+The counter moves towards "miss" on observed long-latency misses and towards
+"hit" on hits; the load is predicted long-latency in the upper half.
+"""
+
+from __future__ import annotations
+
+
+class TwoBitMissPredictor:
+    __slots__ = ("_table", "_entries", "lookups", "predicted_ll")
+
+    def __init__(self, entries: int = 2048, counter_bits: int = 2):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self._entries = entries
+        self._table: dict[int, int] = {}
+        self.lookups = 0
+        self.predicted_ll = 0
+
+    def predict(self, pc: int) -> bool:
+        self.lookups += 1
+        prediction = self._table.get(pc % self._entries, 0) >= 2
+        if prediction:
+            self.predicted_ll += 1
+        return prediction
+
+    def train(self, pc: int, long_latency: bool) -> None:
+        idx = pc % self._entries
+        counter = self._table.get(idx, 0)
+        if long_latency:
+            if counter < 3:
+                self._table[idx] = counter + 1
+        else:
+            if counter > 0:
+                self._table[idx] = counter - 1

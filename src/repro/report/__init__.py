@@ -1,0 +1,24 @@
+"""Plain-text rendering of experiment results.
+
+Benches, examples, the CLI and the EXPERIMENTS.md generator all share
+these helpers so every figure of the paper has a consistent terminal
+rendering:
+
+* :func:`hbar_chart` / :func:`grouped_hbar_chart` — horizontal bar charts
+  (the paper's STP/ANTT/IPC bar figures);
+* :func:`cdf_chart` — monospaced line plot of cumulative distributions
+  (Figure 4);
+* :func:`format_table` / :func:`markdown_table` — aligned tables for
+  terminal output and for EXPERIMENTS.md.
+"""
+
+from repro.report.charts import cdf_chart, grouped_hbar_chart, hbar_chart
+from repro.report.tables import format_table, markdown_table
+
+__all__ = [
+    "cdf_chart",
+    "format_table",
+    "grouped_hbar_chart",
+    "hbar_chart",
+    "markdown_table",
+]

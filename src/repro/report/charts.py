@@ -1,0 +1,118 @@
+"""Monospaced charts for terminal output.
+
+Pure string formatting — no terminal control codes, so output is safe to
+tee into logs and EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def _scaled_bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0 or value <= 0:
+        return ""
+    cells = value / vmax * width
+    whole = int(cells)
+    return _BAR * whole + (_HALF if cells - whole >= 0.5 else "")
+
+
+def hbar_chart(items: Iterable[tuple[str, float]], width: int = 40,
+               title: str | None = None, fmt: str = "{:.3f}") -> str:
+    """Horizontal bar chart of ``(label, value)`` pairs.
+
+    >>> print(hbar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a  ████ 2.000
+    b  ██   1.000
+    """
+    items = list(items)
+    if not items:
+        return "(no data)"
+    label_w = max(len(label) for label, _ in items)
+    vmax = max((value for _, value in items), default=0.0)
+    value_w = max(len(fmt.format(value)) for _, value in items)
+    lines = [] if title is None else [title]
+    for label, value in items:
+        bar = _scaled_bar(value, vmax, width)
+        lines.append(f"{label:<{label_w}}  {bar:<{width}} "
+                     f"{fmt.format(value):>{value_w}}")
+    return "\n".join(lines)
+
+
+def grouped_hbar_chart(groups: Mapping[str, Mapping[str, float]],
+                       width: int = 40, title: str | None = None,
+                       fmt: str = "{:.3f}") -> str:
+    """Bar chart with one sub-bar per series inside each labelled group.
+
+    ``groups`` maps a group label (e.g. a workload mix) to an ordered
+    mapping of series label (e.g. a policy) to value — the layout of the
+    paper's Figures 9/10/13/14.
+    """
+    if not groups:
+        return "(no data)"
+    series_w = max(len(s) for g in groups.values() for s in g)
+    vmax = max((v for g in groups.values() for v in g.values()), default=0.0)
+    lines = [] if title is None else [title]
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            bar = _scaled_bar(value, vmax, width)
+            lines.append(f"  {name:<{series_w}}  {bar:<{width}} "
+                         f"{fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def cdf_chart(series: Mapping[str, list[float]], width: int = 60,
+              height: int = 12, title: str | None = None,
+              x_label: str = "") -> str:
+    """Cumulative-distribution line plot (Figure 4's layout).
+
+    Each entry of ``series`` is a sample list; the chart plots, per
+    series, the fraction of samples ≤ x over the common x-range.  Series
+    are drawn with distinct glyphs and later series overdraw earlier ones
+    where they collide.
+    """
+    series = {k: sorted(v) for k, v in series.items() if v}
+    if not series:
+        return "(no data)"
+    x_max = max(v[-1] for v in series.values())
+    x_min = 0.0
+    span = (x_max - x_min) or 1.0
+    glyphs = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+
+    def fraction_le(samples: list[float], x: float) -> float:
+        # binary search would be cleaner but samples are tiny here
+        count = 0
+        for s in samples:
+            if s <= x:
+                count += 1
+            else:
+                break
+        return count / len(samples)
+
+    for idx, (name, samples) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for col in range(width):
+            x = x_min + span * (col + 1) / width
+            frac = fraction_le(samples, x)
+            row = min(height - 1, int((1.0 - frac) * (height - 1) + 0.5))
+            grid[row][col] = glyph
+    lines = [] if title is None else [title]
+    for row_idx, row in enumerate(grid):
+        frac = 1.0 - row_idx / (height - 1)
+        lines.append(f"{frac:>4.0%} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"{x_min:.0f}"
+    right = f"{x_max:.0f}"
+    pad = width - len(left) - len(right)
+    lines.append("      " + left + " " * max(pad, 1) + right)
+    if x_label:
+        lines.append(f"      ({x_label})")
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append("      " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Aligned text and Markdown tables."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _stringify(rows: Iterable[Sequence[object]]) -> list[list[str]]:
+    out = []
+    for row in rows:
+        out.append([cell if isinstance(cell, str)
+                    else f"{cell:.3f}" if isinstance(cell, float)
+                    else str(cell)
+                    for cell in row])
+    return out
+
+
+def _widths(headers: Sequence[str], rows: list[list[str]]) -> list[int]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    return widths
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 aligns: str | None = None) -> str:
+    """Column-aligned plain-text table.
+
+    ``aligns`` is one character per column: ``<`` left (default for the
+    first column), ``>`` right (default for the rest).  Floats render with
+    three decimals.
+    """
+    str_rows = _stringify(rows)
+    widths = _widths(headers, str_rows)
+    if aligns is None:
+        aligns = "<" + ">" * (len(headers) - 1)
+    if len(aligns) != len(headers):
+        raise ValueError("need one alignment per column")
+
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(f"{c:{a}{w}}"
+                         for c, a, w in zip(cells, aligns, widths))
+
+    lines = [render(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(render(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                   aligns: str | None = None) -> str:
+    """GitHub-flavoured Markdown table (used by EXPERIMENTS.md)."""
+    str_rows = _stringify(rows)
+    if aligns is None:
+        aligns = "<" + ">" * (len(headers) - 1)
+    if len(aligns) != len(headers):
+        raise ValueError("need one alignment per column")
+    sep = ["---" if a == "<" else "---:" for a in aligns]
+    lines = ["| " + " | ".join(headers) + " |",
+             "| " + " | ".join(sep) + " |"]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

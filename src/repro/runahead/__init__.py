@@ -1,0 +1,22 @@
+"""Runahead execution for SMT (Ramirez et al. 2008; paper §7.2).
+
+The paper's related-work section singles out *runahead threads* as the
+contemporaneous alternative to MLP-aware flush — instead of stalling or
+flushing a thread blocked on memory, the thread keeps executing
+speculatively to turn its future independent misses into prefetches — and
+proposes, as future work, gating runahead with the MLP distance predictor:
+enter runahead only when the predicted MLP distance is large enough to pay
+for the re-execution, and fall back to MLP-aware flush otherwise.
+
+* :class:`RunaheadCore`   — the pipeline extension: checkpointed entry on a
+  long-latency load blocking the ROB head, INV value propagation,
+  pseudo-retirement, and flush-and-rewind exit when the miss data returns.
+* :class:`RunaheadPolicy` — always-runahead threads.
+* :class:`MLPRunaheadPolicy` — the paper's proposed hybrid: MLP-distance
+  gated runahead with MLP-aware flush as the short-distance fallback.
+"""
+
+from repro.runahead.core import RunaheadCore
+from repro.runahead.policy import MLPRunaheadPolicy, RunaheadPolicy
+
+__all__ = ["MLPRunaheadPolicy", "RunaheadCore", "RunaheadPolicy"]

@@ -1,0 +1,5 @@
+"""Small shared utilities (deterministic hashing, math helpers)."""
+
+from repro.util.hashing import mix64, uniform_double, bounded
+
+__all__ = ["mix64", "uniform_double", "bounded"]

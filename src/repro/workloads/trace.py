@@ -1,0 +1,162 @@
+"""Deterministic, rewindable synthetic instruction traces.
+
+A trace is a pure function of ``(spec, memory config, seed, thread base)``:
+``get(i)`` returns the i-th dynamic instruction, computed statelessly from
+the loop body and the iteration number.  This is what allows the pipeline to
+*flush and refetch* a thread after a squash — rewinding is just re-reading
+earlier indices; the regenerated instructions are bit-identical.
+
+Address-space layout (per thread, offset by ``base``):
+
+    code   region 0    — 4 bytes per static instruction
+    hot    region 1    — small cache-resident working set
+    burst  region 2
+    random region 3
+    chase  region 8+c  — one walk area per chain
+    stout  region 24+s — streaming store targets
+    stream region 32+j — one array per stream
+
+Each region additionally gets a pseudo-random line-granular offset so that
+region bases do not all alias to cache set 0 (they are 2^32-aligned
+otherwise, which would put every array in the same set of every cache).
+"""
+
+from __future__ import annotations
+
+from repro.config import MemoryConfig
+from repro.isa import Instr, Op
+from repro.util import mix64, uniform_double
+from repro.workloads.spec import BenchmarkSpec, Slot, SlotKind, build_body
+
+_REGION_SHIFT = 32
+_CHASE_WALK_MULT = 2654435761  # Knuth multiplicative-hash constant (odd)
+
+
+class SyntheticTrace:
+    """Lazy, stateless dynamic instruction stream for one thread."""
+
+    def __init__(self, spec: BenchmarkSpec, mem_cfg: MemoryConfig,
+                 seed: int = 0, base: int = 0, pc_base: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self.base = base
+        self.pc_base = pc_base
+        body = build_body(spec)
+        if pc_base:
+            body = [Slot(s.kind, pc_base + s.pc, s.op, s.dest, s.srcs,
+                         s.index, s.taken_prob) for s in body]
+        self.body: list[Slot] = body
+        self.body_len = len(self.body)
+        line = mem_cfg.line_size
+        l3 = mem_cfg.l3.size
+        self._line = line
+
+        def region(idx: int) -> int:
+            # The line-granular skew spreads region bases across cache sets;
+            # without it every 2^32-aligned region would map to set 0.
+            skew = (mix64(idx, 0xA11A5) % 4096) * line
+            return base + (idx << _REGION_SHIFT) + skew
+
+        def footprint(units: float) -> int:
+            # Align the region footprint to whole lines, at least 4 lines.
+            return max(int(units * l3) // line, 4) * line
+
+        self.code_base = region(0)
+        self.hot_base = region(1)
+        # The hot set must stay cache-resident on scaled-down machines too:
+        # cap it at half the L1D capacity.
+        hot_bytes = min(spec.hot_footprint_bytes, mem_cfg.l1d.size // 2)
+        self.hot_lines = max(hot_bytes // line, 1)
+        stride = spec.stream_stride
+        period = max(line // stride, 1)
+        self.stream_fp = footprint(spec.stream_footprint)
+        self.stream_bases = []
+        for j in range(spec.streams):
+            phase = 0
+            if spec.streams:
+                phase = int(j * period * spec.stream_stagger / spec.streams) % period
+            self.stream_bases.append(region(32 + j) + phase * stride)
+        self.chase_fp_lines = footprint(spec.chase_footprint) // line
+        self.chase_bases = [region(8 + c) for c in range(spec.chase_chains)]
+        self.burst_base = region(2)
+        self.burst_lines = footprint(spec.burst_footprint) // line
+        self.random_base = region(3)
+        self.random_lines = footprint(spec.random_footprint) // line
+        self.stout_bases = [region(24 + s) for s in range(spec.stream_stores)]
+        self.stout_fp = footprint(spec.stream_footprint)
+        # Pre-materialize instructions for slots that do not vary by
+        # iteration (compute, consumers, loop-back branch).
+        self._static: list[Instr | None] = [
+            self._static_instr(slot) for slot in self.body]
+
+    def _static_instr(self, slot: Slot) -> Instr | None:
+        kind = slot.kind
+        if kind in (SlotKind.INDUCTION, SlotKind.INT_OP, SlotKind.FP_OP,
+                    SlotKind.CONSUMER):
+            return Instr(slot.pc, slot.op, slot.dest, slot.srcs)
+        if kind is SlotKind.LOOP_BRANCH:
+            return Instr(slot.pc, Op.BRANCH, None, slot.srcs, taken=True)
+        return None
+
+    def pc_address(self, pc: int) -> int:
+        return self.code_base + (pc - self.pc_base) * 4
+
+    def get(self, index: int) -> Instr:
+        """The ``index``-th dynamic instruction (stateless, repeatable)."""
+        iteration, pos = divmod(index, self.body_len)
+        static = self._static[pos]
+        if static is not None:
+            return static
+        slot = self.body[pos]
+        kind = slot.kind
+        spec = self.spec
+        line = self._line
+        # Hash with the *local* pc so the generated stream is identical
+        # regardless of which hardware-thread slot the program occupies.
+        local_pc = slot.pc - self.pc_base
+
+        if kind is SlotKind.STREAM_LOAD:
+            base = self.stream_bases[slot.index]
+            addr = base + (iteration * spec.stream_stride) % self.stream_fp
+            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+
+        if kind is SlotKind.HOT_LOAD:
+            addr = self.hot_base + (
+                (local_pc * 811 + iteration) % self.hot_lines) * line
+            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+
+        if kind is SlotKind.CHASE_LOAD:
+            step = iteration // spec.chase_every
+            offset = (step * _CHASE_WALK_MULT + slot.index) % self.chase_fp_lines
+            addr = self.chase_bases[slot.index] + offset * line
+            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+
+        if kind is SlotKind.BURST_LOAD:
+            if iteration % spec.burst_every == 0:
+                offset = mix64(self.seed, local_pc, iteration) % self.burst_lines
+                addr = self.burst_base + offset * line
+            else:
+                addr = self.hot_base + (
+                    (local_pc * 811 + slot.index * 67) % self.hot_lines) * line
+            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+
+        if kind is SlotKind.RANDOM_LOAD:
+            offset = mix64(self.seed, local_pc, iteration) % self.random_lines
+            addr = self.random_base + offset * line
+            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+
+        if kind is SlotKind.STORE:
+            addr = self.hot_base + (
+                (local_pc * 811 + iteration) % self.hot_lines) * line
+            return Instr(slot.pc, Op.STORE, None, slot.srcs, addr=addr)
+
+        if kind is SlotKind.STREAM_STORE:
+            base = self.stout_bases[slot.index]
+            addr = base + (iteration * spec.stream_stride) % self.stout_fp
+            return Instr(slot.pc, Op.STORE, None, slot.srcs, addr=addr)
+
+        if kind is SlotKind.COND_BRANCH:
+            taken = uniform_double(self.seed, local_pc, iteration) < slot.taken_prob
+            return Instr(slot.pc, Op.BRANCH, None, slot.srcs, taken=taken)
+
+        raise AssertionError(f"unhandled slot kind {kind!r}")  # pragma: no cover

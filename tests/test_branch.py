@@ -1,0 +1,83 @@
+"""Tests for the gshare predictor and the BTB."""
+
+from repro.branch import BTB, GShare
+
+
+class TestGShare:
+    def test_learns_always_taken(self):
+        g = GShare(64)
+        for _ in range(8):
+            g.update(5, True)
+        assert g.predict(5)
+
+    def test_learns_never_taken(self):
+        g = GShare(64)
+        for _ in range(8):
+            g.update(5, False)
+        assert not g.predict(5)
+
+    def test_learns_alternating_pattern_via_history(self):
+        g = GShare(1024)
+        # T,N,T,N... becomes predictable through global history.
+        outcomes = [bool(i % 2) for i in range(400)]
+        mispredicts_late = 0
+        for i, taken in enumerate(outcomes):
+            prediction = g.update(7, taken)
+            if i >= 200 and prediction != taken:
+                mispredicts_late += 1
+        assert mispredicts_late <= 5
+
+    def test_accuracy_metric(self):
+        g = GShare(64)
+        for _ in range(100):
+            g.update(3, True)
+        assert g.accuracy > 0.9
+
+    def test_per_thread_history_isolation(self):
+        g = GShare(1024, num_threads=2)
+        # Thread 0 runs a pure pattern; thread 1 injects noise.  With
+        # per-thread history, thread 0 stays predictable.
+        import random
+        rng = random.Random(42)
+        wrong = 0
+        for i in range(600):
+            taken0 = bool(i % 2)
+            prediction = g.update(11, taken0, thread=0)
+            if i >= 300 and prediction != taken0:
+                wrong += 1
+            g.update(rng.randrange(512), rng.random() < 0.5, thread=1)
+        assert wrong <= 30
+
+    def test_rejects_non_power_of_two(self):
+        import pytest
+        with pytest.raises(ValueError):
+            GShare(1000)
+
+
+class TestBTB:
+    def test_miss_until_inserted(self):
+        b = BTB(16, 4)
+        assert not b.lookup(3)
+        b.insert(3)
+        assert b.lookup(3)
+
+    def test_lru_within_set(self):
+        b = BTB(8, 4)   # 2 sets, pcs map by pc % 2
+        for pc in (0, 2, 4, 6):
+            b.insert(pc)
+        b.lookup(0)       # refresh
+        b.insert(8)       # evicts LRU (pc 2)
+        assert b.lookup(0)
+        assert not b.lookup(2)
+
+    def test_set_isolation(self):
+        b = BTB(8, 4)
+        for pc in (0, 2, 4, 6, 8):
+            b.insert(pc)
+        b.insert(1)
+        assert b.lookup(1)
+
+    def test_rejects_bad_geometry(self):
+        import pytest
+        with pytest.raises(ValueError):
+            BTB(10, 4)

@@ -1,0 +1,132 @@
+"""Tests for the set-associative cache model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory import Cache
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig(size, assoc, line))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert not c.lookup(0)
+        c.install(0)
+        assert c.lookup(0)
+
+    def test_same_line_offsets_hit(self):
+        c = make_cache()
+        c.install(128)
+        assert c.lookup(128 + 63)
+        assert not c.lookup(128 + 64)
+
+    def test_miss_does_not_install(self):
+        c = make_cache()
+        c.lookup(0)
+        assert not c.probe(0)
+
+    def test_stats_count(self):
+        c = make_cache()
+        c.lookup(0)
+        c.install(0)
+        c.lookup(0)
+        assert c.misses == 1
+        assert c.hits == 1
+        assert c.accesses == 2
+        assert c.miss_rate == 0.5
+
+    def test_reset_stats(self):
+        c = make_cache()
+        c.lookup(0)
+        c.reset_stats()
+        assert c.misses == 0 and c.hits == 0
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        c = make_cache(size=256, assoc=2, line=64)  # 2 sets
+        # Lines 0, 2, 4 all map to set 0.
+        c.install(0)
+        c.install(2 * 64)
+        c.lookup(0)               # line 0 is now MRU
+        victim = c.install(4 * 64)
+        assert victim == 2        # line 2 was LRU
+        assert c.probe(0)
+        assert not c.probe(2 * 64)
+
+    def test_touch_refreshes_recency(self):
+        c = make_cache(size=256, assoc=2, line=64)
+        c.install(0)
+        c.install(2 * 64)
+        c.touch(0)                # refresh without counting an access
+        accesses_before = c.accesses
+        c.install(4 * 64)
+        assert c.accesses == accesses_before
+        assert c.probe(0)
+        assert not c.probe(2 * 64)
+
+    def test_touch_absent_line_is_noop(self):
+        c = make_cache()
+        c.touch(0)
+        assert not c.probe(0)
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.install(0)
+        assert c.invalidate(0)
+        assert not c.probe(0)
+        assert not c.invalidate(0)
+
+    def test_set_isolation(self):
+        c = make_cache(size=256, assoc=2, line=64)
+        # Fill set 0 beyond capacity; set 1 must be untouched.
+        c.install(1 * 64)  # set 1
+        for i in range(0, 8, 2):
+            c.install(i * 64)
+        assert c.probe(1 * 64)
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4095), min_size=1,
+                    max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        c = make_cache(size=512, assoc=2, line=64)
+        for addr in addresses:
+            if not c.lookup(addr):
+                c.install(addr)
+        total = sum(len(s) for s in c._sets)
+        assert total <= c.cfg.num_lines
+        for s in c._sets:
+            assert len(s) <= c.cfg.assoc
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                    max_size=200))
+    def test_most_recent_install_always_present(self, addresses):
+        c = make_cache(size=512, assoc=4, line=64)
+        for addr in addresses:
+            c.install(addr)
+            assert c.probe(addr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                    max_size=200))
+    def test_fully_assoc_keeps_hottest(self, addresses):
+        # A direct check of LRU: with capacity k, the k most recently
+        # installed distinct lines are all present.
+        c = Cache(CacheConfig(4 * 64, 4, 64))  # one set, 4 ways
+        for addr in addresses:
+            c.install(addr)
+        recent = []
+        for addr in reversed(addresses):
+            line = addr >> 6
+            if line not in recent:
+                recent.append(line)
+            if len(recent) == 4:
+                break
+        for line in recent:
+            assert c.probe(line << 6)

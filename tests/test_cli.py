@@ -1,0 +1,66 @@
+"""CLI smoke tests: every subcommand runs and prints sane output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "-w", "mcf,swim", "-p", "not_a_policy",
+                  "-c", "1000"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "-w", "mcf,notabench", "-c", "1000"])
+
+    def test_mismatched_workload_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "-w", "mcf,swim", "-w", "mcf,swim,vpr,gap",
+                  "-c", "1000"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "mlp_flush" in out
+        assert "runahead" in out
+
+    def test_characterize_subset(self, capsys):
+        assert main(["characterize", "-b", "mcf,twolf",
+                     "-c", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "class agreement" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "-w", "mcf,twolf",
+                     "-p", "icount,mlp_flush", "-c", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "STP" in out
+        assert "ANTT" in out
+        assert "mlp_flush" in out
+
+    def test_mlp_cdf(self, capsys):
+        assert main(["mlp-cdf", "-b", "swim", "-c", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "swim" in out
+        assert "MLP distance" in out
+
+    def test_figure_lists_targets_without_args(self, capsys):
+        assert main(["figure"]) == 1
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_sweep_memlat(self, capsys):
+        assert main(["sweep", "memlat", "-w", "mcf,twolf",
+                     "-p", "mlp_flush", "-c", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "relative to ICOUNT" in out

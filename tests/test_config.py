@@ -1,0 +1,174 @@
+"""Tests for the configuration layer (Table IV and scaling helpers)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    KB,
+    MB,
+    CacheConfig,
+    MemoryConfig,
+    SMTConfig,
+    TLBConfig,
+    paper_baseline,
+    scaled_config,
+    scaled_memory,
+    with_memory_latency,
+    with_window_size,
+)
+
+
+class TestCacheConfig:
+    def test_paper_l1_geometry(self):
+        c = CacheConfig(64 * KB, 2)
+        assert c.num_sets == 512
+        assert c.num_lines == 1024
+
+    def test_paper_l3_geometry(self):
+        c = CacheConfig(4 * MB, 16)
+        assert c.num_sets == 4096
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 2)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 64)
+
+    def test_is_hashable(self):
+        assert hash(CacheConfig(64 * KB, 2)) == hash(CacheConfig(64 * KB, 2))
+
+
+class TestTLBConfig:
+    def test_defaults(self):
+        t = TLBConfig(512)
+        assert t.page_size == 8 * KB
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TLBConfig(0)
+
+
+class TestSMTConfigBaseline:
+    """The defaults must be exactly Table IV."""
+
+    def test_table_iv_core(self):
+        cfg = paper_baseline()
+        assert cfg.fetch_width == 4
+        assert cfg.fetch_max_threads == 2
+        assert cfg.rob_size == 256
+        assert cfg.lsq_size == 128
+        assert cfg.int_iq_size == 64
+        assert cfg.fp_iq_size == 64
+        assert cfg.int_rename_regs == 100
+        assert cfg.fp_rename_regs == 100
+        assert cfg.num_int_alu == 4
+        assert cfg.num_ldst == 2
+        assert cfg.num_fp == 2
+        assert cfg.branch_mispredict_penalty == 11
+        assert cfg.gshare_entries == 2048
+        assert cfg.btb_entries == 256
+        assert cfg.write_buffer_entries == 8
+
+    def test_table_iv_memory(self):
+        mem = paper_baseline().memory
+        assert mem.l1i.size == 64 * KB and mem.l1i.assoc == 2
+        assert mem.l1d.size == 64 * KB and mem.l1d.assoc == 2
+        assert mem.l2.size == 512 * KB and mem.l2.assoc == 8
+        assert mem.l3.size == 4 * MB and mem.l3.assoc == 16
+        assert mem.itlb.entries == 128
+        assert mem.dtlb.entries == 512
+        assert mem.l2_latency == 11
+        assert mem.l3_latency == 35
+        assert mem.mem_latency == 350
+
+    def test_prefetcher_config(self):
+        pf = paper_baseline().memory.prefetcher
+        assert pf.enabled
+        assert pf.num_buffers == 8
+        assert pf.buffer_entries == 8
+        assert pf.stride_table_entries == 2048
+
+    def test_predictor_sizes(self):
+        p = paper_baseline().predictors
+        assert p.lll_entries == 2048
+        assert p.lll_counter_bits == 6
+        assert p.mlp_entries == 2048
+
+    def test_llsr_length_follows_threads(self):
+        assert paper_baseline(num_threads=1).llsr_length == 256
+        assert paper_baseline(num_threads=2).llsr_length == 128
+        assert paper_baseline(num_threads=4).llsr_length == 64
+
+    def test_llsr_override(self):
+        cfg = paper_baseline(num_threads=1, llsr_length_override=128)
+        assert cfg.llsr_length == 128
+
+    def test_rejects_indivisible_rob(self):
+        with pytest.raises(ValueError):
+            SMTConfig(num_threads=3)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            SMTConfig(num_threads=0)
+
+
+class TestScaling:
+    def test_scaled_memory_shrinks_caches(self):
+        mem = scaled_memory(16)
+        assert mem.l1d.size == 4 * KB
+        assert mem.l2.size == 32 * KB
+        assert mem.l3.size == 256 * KB
+
+    def test_scaled_memory_keeps_structure(self):
+        mem = scaled_memory(16)
+        base = MemoryConfig()
+        assert mem.l1d.assoc == base.l1d.assoc
+        assert mem.l3.assoc == base.l3.assoc
+        assert mem.mem_latency == base.mem_latency
+
+    def test_scaled_tlb_reach_tracks_l3(self):
+        mem = scaled_memory(16)
+        # TLB reach should stay comparable to L3 capacity, as at full scale.
+        assert mem.dtlb.entries * mem.dtlb.page_size == mem.l3.size
+
+    def test_scale_one_is_identity_for_caches(self):
+        assert scaled_memory(1).l1d.size == 64 * KB
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            scaled_memory(0)
+
+    def test_scaled_config_thread_count(self):
+        assert scaled_config(num_threads=4).num_threads == 4
+
+
+class TestDesignSpaceHelpers:
+    def test_window_scaling_proportional(self):
+        cfg = with_window_size(paper_baseline(), 512)
+        assert cfg.rob_size == 512
+        assert cfg.lsq_size == 256
+        assert cfg.int_iq_size == 128
+        assert cfg.fp_iq_size == 128
+        assert cfg.int_rename_regs == 200
+        assert cfg.fp_rename_regs == 200
+
+    def test_window_scaling_down(self):
+        cfg = with_window_size(paper_baseline(), 128)
+        assert cfg.rob_size == 128
+        assert cfg.lsq_size == 64
+        assert cfg.int_rename_regs == 50
+
+    def test_memory_latency_override(self):
+        cfg = with_memory_latency(paper_baseline(), 800)
+        assert cfg.memory.mem_latency == 800
+        assert cfg.memory.tlb_miss_penalty == 800
+        # the rest is unchanged
+        assert cfg.memory.l3_latency == 35
+
+    def test_configs_are_frozen(self):
+        cfg = paper_baseline()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.rob_size = 1

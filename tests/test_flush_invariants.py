@@ -1,0 +1,142 @@
+"""Flush correctness: resource accounting, rename undo, refetch identity.
+
+These tests exercise the most delicate part of the pipeline: policy-
+triggered squashes must return *exactly* the resources the squashed
+instructions held and restore the rename map so refetched code sees the
+same producers.
+"""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.experiments.runner import trace_for
+from repro.pipeline import SMTCore
+from repro.policies import make_policy
+
+
+def occupancy_ground_truth(core):
+    """Recompute global resource usage from the per-thread windows."""
+    rob = lsq = iq = fq = int_regs = fp_regs = 0
+    for ts in core.threads:
+        for di in ts.window:
+            assert not di.squashed, "squashed instruction left in window"
+            rob += 1
+            if di.is_load or di.is_store:
+                lsq += 1
+            if di.in_iq:
+                if di.iq_is_fp:
+                    fq += 1
+                else:
+                    iq += 1
+            if di.has_dest:
+                if di.dest_fp:
+                    fp_regs += 1
+                else:
+                    int_regs += 1
+    return rob, lsq, iq, fq, int_regs, fp_regs
+
+
+def check_invariants(core):
+    rob, lsq, iq, fq, int_regs, fp_regs = occupancy_ground_truth(core)
+    assert core.rob_used == rob
+    assert core.lsq_used == lsq
+    assert core.iq_used == iq
+    assert core.fq_used == fq
+    assert core.int_regs_used == int_regs
+    assert core.fp_regs_used == fp_regs
+    for ts in core.threads:
+        assert ts.rob_count == len(ts.window)
+        fe_count = len(ts.fe_queue)
+        iq_count = sum(1 for di in ts.window if di.in_iq)
+        assert ts.icount == fe_count + iq_count
+
+
+POLICIES_WITH_FLUSH = ["flush", "mlp_flush", "binary_mlp_flush",
+                       "mlp_flush_rs", "binary_mlp_flush_rs"]
+
+
+class TestAccountingUnderFlush:
+    @pytest.mark.parametrize("policy", POLICIES_WITH_FLUSH)
+    def test_resource_accounting_stays_exact(self, policy):
+        cfg = scaled_config(num_threads=2, scale=16)
+        traces = [trace_for(n, cfg, slot=i)
+                  for i, n in enumerate(("mcf", "swim"))]
+        core = SMTCore(cfg, traces, make_policy(policy))
+        for step in range(6000):
+            core.step()
+            if step % 97 == 0:
+                check_invariants(core)
+        assert sum(t.flushes for t in core.stats.threads) > 0, \
+            "test never exercised a flush"
+        check_invariants(core)
+
+    def test_rename_map_points_to_live_or_committed(self):
+        cfg = scaled_config(num_threads=2, scale=16)
+        traces = [trace_for(n, cfg, slot=i)
+                  for i, n in enumerate(("mcf", "galgel"))]
+        core = SMTCore(cfg, traces, make_policy("mlp_flush"))
+        for step in range(4000):
+            core.step()
+            if step % 201 == 0:
+                for ts in core.threads:
+                    for reg, prod in ts.rename_map.items():
+                        if prod is not None and not prod.completed:
+                            assert not prod.squashed, \
+                                "rename map references a squashed producer"
+
+    def test_flush_rewinds_fetch_index(self):
+        cfg = scaled_config(num_threads=1, scale=16)
+        trace = trace_for("swim", cfg)
+        core = SMTCore(cfg, [trace], make_policy("icount"))
+        for _ in range(300):
+            core.step()
+        ts = core.threads[0]
+        before = ts.fetch_index
+        target = max(0, before - 50)
+        squashed = core.flush_thread(ts, target)
+        assert ts.fetch_index == target + 1
+        assert squashed > 0
+        assert ts.stats.flushes == 1
+        check_invariants(core)
+
+    def test_flush_nothing_younger_is_a_noop_squash(self):
+        cfg = scaled_config(num_threads=1, scale=16)
+        trace = trace_for("gap", cfg)
+        core = SMTCore(cfg, [trace], make_policy("icount"))
+        for _ in range(200):
+            core.step()
+        ts = core.threads[0]
+        squashed = core.flush_thread(ts, ts.fetch_index + 100)
+        assert squashed == 0
+
+    def test_progress_resumes_after_flush(self):
+        cfg = scaled_config(num_threads=1, scale=16)
+        trace = trace_for("mcf", cfg)
+        core = SMTCore(cfg, [trace], make_policy("icount"))
+        for _ in range(500):
+            core.step()
+        ts = core.threads[0]
+        committed_before = ts.stats.committed
+        core.flush_thread(ts, max(0, ts.fetch_index - 80))
+        for _ in range(3000):
+            core.step()
+        assert ts.stats.committed > committed_before + 100
+
+
+class TestSquashFillCancellation:
+    def test_cancelled_fills_serialize_the_flushed_thread(self):
+        """With cancel_squashed_fills, a flushed thread's refetched loads
+        miss again (the paper's serialization premise), so the same work
+        takes longer than with modern fill-survives semantics."""
+        from repro.experiments.runner import run_single
+        from dataclasses import replace
+
+        def cycles(cancel):
+            cfg = scaled_config(num_threads=1, scale=16)
+            cfg = replace(cfg, memory=replace(
+                cfg.memory, cancel_squashed_fills=cancel))
+            stats = run_single("swim", cfg, 4000, policy="flush",
+                               warmup=500)
+            return stats.cycles
+
+        assert cycles(True) > cycles(False)

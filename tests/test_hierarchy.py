@@ -1,0 +1,220 @@
+"""Tests for the composed memory hierarchy timing model."""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MemoryConfig, PrefetcherConfig, scaled_memory
+from repro.memory import MemoryHierarchy, ServiceLevel
+from repro.memory.hierarchy import mlp_from_intervals
+
+
+def make_hierarchy(prefetch=False, **overrides):
+    mem = scaled_memory(16)
+    mem = replace(mem, prefetcher=replace(mem.prefetcher, enabled=prefetch),
+                  **overrides)
+    return MemoryHierarchy(mem), mem
+
+
+def warm_tlb(h, addr, cycle=0):
+    h.dtlb.lookup(addr)
+
+
+class TestServiceLevels:
+    def test_cold_load_goes_to_memory(self):
+        h, mem = make_hierarchy()
+        warm_tlb(h, 1 << 20)
+        r = h.load(0, pc=1, addr=1 << 20, cycle=100)
+        assert r.level is ServiceLevel.MEM
+        assert r.long_latency
+        assert r.complete_cycle == 100 + mem.mem_latency
+
+    def test_l1_hit_after_fill(self):
+        h, mem = make_hierarchy()
+        warm_tlb(h, 4096)
+        h.load(0, 1, 4096, 0)
+        r = h.load(0, 1, 4096, 1000)
+        assert r.level is ServiceLevel.L1
+        assert not r.long_latency
+        assert r.complete_cycle == 1000 + mem.l1_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        h, mem = make_hierarchy()
+        # Fill far more lines than L1 holds, all mapping over the L1 sets,
+        # then re-access the first: it should be in L2.
+        first = 1 << 22
+        warm_tlb(h, first)
+        h.load(0, 1, first, 0)
+        num_l1_lines = mem.l1d.num_lines
+        for i in range(1, num_l1_lines + 1):
+            addr = first + i * mem.line_size
+            warm_tlb(h, addr)
+            h.load(0, 1, addr, 1000 + i)
+        r = h.load(0, 1, first, 50_000)
+        assert r.level is ServiceLevel.L2
+        assert r.complete_cycle == 50_000 + mem.l2_latency
+
+    def test_tlb_miss_is_long_latency(self):
+        h, mem = make_hierarchy()
+        h.load(0, 1, 8192, 0)         # cold TLB and caches
+        h.load(0, 1, 8192, 10_000)    # warm caches...
+        r = h.load(0, 1, 8192 + (1 << 26), 20_000)  # new page, cold TLB
+        assert r.tlb_miss
+        assert r.long_latency
+
+    def test_tlb_hit_same_page(self):
+        h, _ = make_hierarchy()
+        h.load(0, 1, 0, 0)
+        r = h.load(0, 1, 64, 10_000)
+        assert not r.tlb_miss
+
+
+class TestMSHRMerging:
+    def test_second_load_merges_into_fill(self):
+        h, mem = make_hierarchy()
+        addr = 1 << 21
+        warm_tlb(h, addr)
+        first = h.load(0, 1, addr, 100)
+        second = h.load(0, 1, addr + 8, 150)
+        assert second.level is ServiceLevel.MERGE
+        assert second.complete_cycle == first.complete_cycle
+        assert not second.long_latency        # not an L3 miss itself
+
+    def test_merge_triggers_policy_when_fill_far_away(self):
+        h, mem = make_hierarchy()
+        addr = 1 << 21
+        warm_tlb(h, addr)
+        h.load(0, 1, addr, 100)
+        early = h.load(0, 1, addr + 8, 110)
+        assert early.trigger                  # fill ~340 cycles away
+        late = h.load(0, 1, addr + 16, 100 + mem.mem_latency - 5)
+        assert not late.trigger               # fill almost here
+
+    def test_after_fill_completes_line_hits(self):
+        h, mem = make_hierarchy()
+        addr = 1 << 21
+        warm_tlb(h, addr)
+        r = h.load(0, 1, addr, 100)
+        r2 = h.load(0, 1, addr, r.complete_cycle + 1)
+        assert r2.level is ServiceLevel.L1
+
+    def test_mshr_capacity_backpressure(self):
+        h, mem = make_hierarchy(mshr_entries=2)
+        results = []
+        for i in range(4):
+            addr = (1 << 21) + i * (1 << 16)
+            warm_tlb(h, addr)
+            results.append(h.load(0, 1, addr, 100))
+        # With 2 MSHRs, the 3rd/4th fills must wait for earlier ones.
+        assert results[2].complete_cycle >= results[0].complete_cycle
+        assert results[3].complete_cycle >= results[1].complete_cycle
+
+
+class TestFillCancellation:
+    def test_cancel_inflight_fill(self):
+        h, mem = make_hierarchy()
+        addr = 1 << 21
+        warm_tlb(h, addr)
+        r = h.load(0, 1, addr, 100)
+        line = r.fill_line
+        assert line is not None
+        assert h.cancel_fill(line, addr, 150)
+        refetch = h.load(0, 1, addr, 200)
+        assert refetch.level is ServiceLevel.MEM   # misses again
+
+    def test_cancel_after_completion_is_noop(self):
+        h, mem = make_hierarchy()
+        addr = 1 << 21
+        warm_tlb(h, addr)
+        r = h.load(0, 1, addr, 100)
+        assert not h.cancel_fill(r.fill_line, addr, r.complete_cycle + 10)
+        assert h.load(0, 1, addr, r.complete_cycle + 20).level is ServiceLevel.L1
+
+    def test_hit_results_have_no_fill_line(self):
+        h, _ = make_hierarchy()
+        warm_tlb(h, 0)
+        h.load(0, 1, 0, 0)
+        assert h.load(0, 1, 0, 1000).fill_line is None
+
+
+class TestSerializedMode:
+    def test_serialization_orders_independent_misses(self):
+        h, mem = make_hierarchy()
+        hs, mems = make_hierarchy()
+        hs.cfg = replace(mems, serialize_long_latency=True)
+        hs_real = MemoryHierarchy(replace(mems, serialize_long_latency=True))
+        addrs = [(1 << 21) + i * (1 << 16) for i in range(3)]
+        for a in addrs:
+            warm_tlb(h, a)
+            warm_tlb(hs_real, a)
+        parallel = [h.load(0, 1, a, 100) for a in addrs]
+        serial = [hs_real.load(0, 1, a, 100) for a in addrs]
+        assert parallel[2].complete_cycle == parallel[0].complete_cycle
+        assert serial[1].complete_cycle >= serial[0].complete_cycle + mems.mem_latency
+        assert serial[2].complete_cycle >= serial[1].complete_cycle + mems.mem_latency
+
+
+class TestLLIntervals:
+    def test_intervals_recorded_per_miss(self):
+        h, mem = make_hierarchy()
+        addr = 1 << 21
+        warm_tlb(h, addr)
+        h.load(0, 1, addr, 100)
+        assert len(h.ll_intervals) == 1
+        start, end = h.ll_intervals[0]
+        assert end - start == mem.mem_latency
+
+    def test_store_not_recorded_as_ll(self):
+        h, _ = make_hierarchy()
+        warm_tlb(h, 1 << 21)
+        h.store(0, 1, 1 << 21, 100)
+        assert h.ll_intervals == []
+
+    def test_per_thread_counts(self):
+        h, _ = make_hierarchy()
+        for t, addr in ((0, 1 << 21), (1, 1 << 22), (0, 1 << 23)):
+            warm_tlb(h, addr)
+            h.load(t, 1, addr, 100)
+        assert h.ll_loads_per_thread == {0: 2, 1: 1}
+
+
+class TestMLPFromIntervals:
+    def test_empty(self):
+        assert mlp_from_intervals([]) == 0.0
+
+    def test_single_interval(self):
+        assert mlp_from_intervals([(0, 100)]) == 1.0
+
+    def test_fully_overlapping(self):
+        assert mlp_from_intervals([(0, 100), (0, 100), (0, 100)]) == 3.0
+
+    def test_disjoint(self):
+        assert mlp_from_intervals([(0, 100), (200, 300)]) == 1.0
+
+    def test_partial_overlap(self):
+        # [0,100) and [50,150): busy 150, latency 200 -> 4/3
+        assert abs(mlp_from_intervals([(0, 100), (50, 150)]) - 4 / 3) < 1e-9
+
+    def test_degenerate_intervals_ignored(self):
+        assert mlp_from_intervals([(5, 5), (10, 7)]) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 400)),
+                    min_size=1, max_size=40))
+    def test_mlp_bounds(self, spans):
+        intervals = [(s, s + d) for s, d in spans]
+        mlp = mlp_from_intervals(intervals)
+        assert 1.0 <= mlp <= len(intervals)
+
+
+class TestInstructionPath:
+    def test_icache_cold_then_hot(self):
+        h, mem = make_hierarchy()
+        assert h.ifetch(0, 0, 0) > 0
+        assert h.ifetch(0, 0, 10_000) == 10_000
+
+    def test_itlb_and_dtlb_are_separate(self):
+        h, _ = make_hierarchy()
+        h.ifetch(0, 0, 0)
+        # The data TLB was never touched.
+        assert h.dtlb.hits + h.dtlb.misses == 0

@@ -1,0 +1,113 @@
+"""End-to-end integration tests: qualitative paper results at tiny scale.
+
+These use generous margins — they assert the *direction* of effects the
+paper establishes, on short runs, not precise magnitudes.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.config import scaled_config
+from repro.experiments import (
+    clear_baseline_cache,
+    evaluate_workload,
+    run_single,
+)
+from repro.experiments.defaults import characterization_config
+from repro.experiments.profile import clear_profile_cache, profile_benchmark
+
+CFG2 = scaled_config(num_threads=2, scale=16)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    clear_baseline_cache()
+    clear_profile_cache()
+    yield
+
+
+class TestCharacterizationDirection:
+    def test_mlp_thread_has_more_ll_loads_than_ilp_thread(self):
+        swim = profile_benchmark("swim", max_commits=8000)
+        crafty = profile_benchmark("crafty", max_commits=8000)
+        assert swim.lll_per_kilo > 20 * max(crafty.lll_per_kilo, 0.01)
+
+    def test_mlp_thread_exhibits_mlp(self):
+        swim = profile_benchmark("swim", max_commits=8000)
+        assert swim.mlp > 2.0
+
+    def test_isolated_miss_thread_has_mlp_near_one(self):
+        vortex = profile_benchmark("vortex", max_commits=8000)
+        assert vortex.mlp < 1.6
+
+    def test_serialization_hurts_mlp_thread(self):
+        cfg = characterization_config()
+        serial_cfg = replace(
+            cfg, memory=replace(cfg.memory, serialize_long_latency=True))
+        normal = run_single("swim", cfg, 6000)
+        serial = run_single("swim", serial_cfg, 6000)
+        assert serial.cpi(0) > normal.cpi(0) * 1.5
+
+    def test_serialization_harmless_for_ilp_thread(self):
+        cfg = characterization_config()
+        serial_cfg = replace(
+            cfg, memory=replace(cfg.memory, serialize_long_latency=True))
+        normal = run_single("crafty", cfg, 6000)
+        serial = run_single("crafty", serial_cfg, 6000)
+        assert serial.cpi(0) < normal.cpi(0) * 1.1
+
+
+class TestPrefetcher:
+    def test_prefetcher_speeds_up_streaming(self):
+        cfg = scaled_config(num_threads=1, scale=16)
+        off = replace(cfg, memory=replace(
+            cfg.memory,
+            prefetcher=replace(cfg.memory.prefetcher, enabled=False)))
+        with_pf = run_single("wupwise", cfg, 8000)
+        without_pf = run_single("wupwise", off, 8000)
+        assert with_pf.ipc(0) > without_pf.ipc(0)
+
+    def test_prefetcher_neutral_for_pointer_chasing(self):
+        cfg = scaled_config(num_threads=1, scale=16)
+        off = replace(cfg, memory=replace(
+            cfg.memory,
+            prefetcher=replace(cfg.memory.prefetcher, enabled=False)))
+        with_pf = run_single("mcf", cfg, 6000)
+        without_pf = run_single("mcf", off, 6000)
+        assert with_pf.ipc(0) == pytest.approx(without_pf.ipc(0), rel=0.15)
+
+
+class TestPolicyDirection:
+    """The paper's headline orderings, at reduced scale."""
+
+    def test_flush_beats_icount_for_corunner_of_mlp_thread(self):
+        icount = evaluate_workload(("swim", "twolf"), CFG2, "icount", 6000)
+        flush = evaluate_workload(("swim", "twolf"), CFG2, "flush", 6000)
+        # The ILP co-runner (twolf) must speed up when swim gets flushed.
+        assert flush.ipcs[1] > icount.ipcs[1]
+
+    def test_mlp_flush_preserves_mlp_thread_better_than_flush(self):
+        flush = evaluate_workload(("swim", "twolf"), CFG2, "flush", 6000)
+        aware = evaluate_workload(("swim", "twolf"), CFG2, "mlp_flush", 6000)
+        assert aware.ipcs[0] > flush.ipcs[0]
+
+    def test_mlp_flush_antt_beats_flush_on_mixed_pair(self):
+        flush = evaluate_workload(("swim", "twolf"), CFG2, "flush", 6000)
+        aware = evaluate_workload(("swim", "twolf"), CFG2, "mlp_flush", 6000)
+        assert aware.antt < flush.antt * 1.05
+
+    def test_policies_are_neutral_for_pure_ilp_pairs(self):
+        icount = evaluate_workload(("crafty", "twolf"), CFG2, "icount", 6000)
+        aware = evaluate_workload(("crafty", "twolf"), CFG2, "mlp_flush",
+                                  6000)
+        assert aware.stp == pytest.approx(icount.stp, rel=0.25)
+
+
+class TestFourThreads:
+    def test_four_thread_run_completes(self):
+        cfg = scaled_config(num_threads=4, scale=16)
+        r = evaluate_workload(("mcf", "swim", "perlbmk", "mesa"), cfg,
+                              "mlp_flush", 2500, warmup=500)
+        assert all(x > 100 for x in r.committed)
+        assert 0 < r.stp <= 4.0

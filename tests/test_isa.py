@@ -1,0 +1,56 @@
+"""Tests for the micro-op instruction model."""
+
+from repro.isa import (
+    EXEC_LATENCY,
+    FU_CLASS,
+    FP_REG_BASE,
+    FuClass,
+    Instr,
+    Op,
+    is_fp_reg,
+)
+
+
+class TestOpMapping:
+    def test_every_op_has_latency(self):
+        for op in Op:
+            assert EXEC_LATENCY[op] >= 1
+
+    def test_every_op_has_fu(self):
+        for op in Op:
+            assert FU_CLASS[op] in FuClass
+
+    def test_memory_ops_use_ldst(self):
+        assert FU_CLASS[Op.LOAD] is FuClass.LDST
+        assert FU_CLASS[Op.STORE] is FuClass.LDST
+
+    def test_fp_ops_use_fp_units(self):
+        assert FU_CLASS[Op.FALU] is FuClass.FP
+        assert FU_CLASS[Op.FMUL] is FuClass.FP
+
+    def test_branches_use_int_alu(self):
+        assert FU_CLASS[Op.BRANCH] is FuClass.INT_ALU
+
+
+class TestRegisters:
+    def test_fp_reg_boundary(self):
+        assert not is_fp_reg(FP_REG_BASE - 1)
+        assert is_fp_reg(FP_REG_BASE)
+
+
+class TestInstr:
+    def test_zero_register_filtered_from_sources(self):
+        i = Instr(1, Op.IALU, dest=4, srcs=(0, 2, 0))
+        assert i.srcs == (2,)
+
+    def test_is_mem(self):
+        assert Instr(0, Op.LOAD, 4, (1,), addr=64).is_mem
+        assert Instr(0, Op.STORE, None, (1,), addr=64).is_mem
+        assert not Instr(0, Op.IALU, 4, (1,)).is_mem
+
+    def test_branch_taken_flag(self):
+        assert Instr(0, Op.BRANCH, None, (4,), taken=True).taken
+        assert not Instr(0, Op.BRANCH, None, (4,), taken=False).taken
+
+    def test_repr_mentions_op(self):
+        assert "LOAD" in repr(Instr(3, Op.LOAD, 4, (1,), addr=128))

@@ -1,0 +1,117 @@
+"""Dependence-aware LLSR (paper §4.2 future work): unit + integration."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.config import scaled_config
+from repro.experiments.runner import run_single, trace_for
+from repro.pipeline import SMTCore
+from repro.policies import make_policy
+from repro.predictors import LLSR
+
+
+def drive(llsr, bits, deps=None):
+    """Feed (is_ll, dependent) pairs; collect measured distances."""
+    deps = deps or [False] * len(bits)
+    out = []
+    for i, (bit, dep) in enumerate(zip(bits, deps)):
+        d = llsr.commit(bool(bit), pc=i, dependent=dep)
+        if d is not None:
+            out.append(d)
+    return out
+
+
+class TestUnitBehaviour:
+    def test_plain_llsr_counts_dependent_loads(self):
+        llsr = LLSR(4)
+        # LL at 0, dependent LL at 2; head exits after 5 more commits.
+        distances = drive(llsr, [1, 0, 1, 0, 0, 0, 0],
+                          deps=[False, False, True] + [False] * 4)
+        assert distances[0] == 2  # the dependent load still counted
+
+    def test_dependence_aware_llsr_suppresses_dependent_loads(self):
+        llsr = LLSR(4, exclude_dependent=True)
+        distances = drive(llsr, [1, 0, 1, 0, 0, 0, 0],
+                          deps=[False, False, True] + [False] * 4)
+        assert distances[0] == 0  # isolated once the dependent one is gone
+        assert llsr.suppressed == 1
+
+    def test_independent_loads_still_measure(self):
+        llsr = LLSR(4, exclude_dependent=True)
+        distances = drive(llsr, [1, 0, 1, 0, 0, 0, 0])
+        assert distances[0] == 2
+
+    def test_suppressed_load_never_triggers_measurement(self):
+        llsr = LLSR(3, exclude_dependent=True)
+        distances = drive(llsr, [0, 1, 0, 0, 0, 0],
+                          deps=[False, True] + [False] * 4)
+        assert distances == []
+        assert llsr.measured == []
+
+
+def _dependence_cfg(num_threads=1):
+    cfg = scaled_config(num_threads=num_threads, scale=16)
+    return replace(cfg, predictors=replace(cfg.predictors,
+                                           dependence_aware=True))
+
+
+class TestCoreIntegration:
+    def test_chase_loads_are_marked_dependent(self):
+        """mcf's pointer-chase misses depend on each other; the
+        dependence-aware LLSR must suppress a visible fraction."""
+        cfg = _dependence_cfg()
+        core = SMTCore(cfg, [trace_for("mcf", cfg)], make_policy("icount"))
+        core.run(4000)
+        llsr = core.threads[0].llsr
+        assert llsr.exclude_dependent
+        assert llsr.suppressed > 0
+
+    def test_stream_loads_stay_independent(self):
+        """swim's strided stream misses share no register dependences, so
+        almost nothing should be suppressed."""
+        cfg = _dependence_cfg()
+        core = SMTCore(cfg, [trace_for("swim", cfg)], make_policy("icount"))
+        core.run(4000)
+        llsr = core.threads[0].llsr
+        total = llsr.suppressed + len(llsr.measured)
+        assert total > 0
+        assert llsr.suppressed <= total * 0.1
+
+    def test_dependence_tracking_off_by_default(self):
+        cfg = scaled_config(num_threads=1, scale=16)
+        core = SMTCore(cfg, [trace_for("mcf", cfg)], make_policy("icount"))
+        core.run(2000)
+        assert core.threads[0].llsr.suppressed == 0
+        assert not core._track_ll_dep
+
+    def test_distances_never_grow_with_filtering(self):
+        """Filtering can only remove 1-bits, so per-PC measured distances
+        under the dependence-aware LLSR must not exceed the plain ones on
+        a deterministic single-thread run."""
+
+        def distances(dep_aware):
+            cfg = scaled_config(num_threads=1, scale=16)
+            if dep_aware:
+                cfg = replace(cfg, predictors=replace(
+                    cfg.predictors, dependence_aware=True))
+            core = SMTCore(cfg, [trace_for("equake", cfg)],
+                           make_policy("icount"))
+            core.run(4000)
+            per_pc = {}
+            for pc, d in core.threads[0].llsr.measured:
+                per_pc.setdefault(pc, []).append(d)
+            return per_pc
+
+        plain = distances(False)
+        aware = distances(True)
+        # Same program, same commit stream: compare max distance per PC.
+        for pc, ds in aware.items():
+            if pc in plain:
+                assert max(ds) <= max(plain[pc])
+
+    def test_policy_runs_under_dependence_aware_mode(self):
+        cfg = _dependence_cfg()
+        stats = run_single("mcf", cfg, 3000, policy="mlp_flush",
+                           warmup=500)
+        assert stats.threads[0].committed >= 3000

@@ -1,0 +1,92 @@
+"""Tests for STP / ANTT and the averaging rules (Section 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    antt,
+    arithmetic_mean,
+    harmonic_mean,
+    stp,
+    summarize_antt,
+    summarize_stp,
+)
+
+cpis = st.lists(st.floats(min_value=0.1, max_value=100.0),
+                min_size=1, max_size=8)
+
+
+class TestSTP:
+    def test_no_interference_gives_n(self):
+        assert stp([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_halved_throughput(self):
+        assert stp([1.0, 1.0], [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_paper_definition(self):
+        # STP = sum CPI_ST/CPI_MT
+        assert stp([1.0, 3.0], [2.0, 4.0]) == pytest.approx(0.5 + 0.75)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            stp([1.0], [1.0, 2.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            stp([0.0], [1.0])
+
+    @settings(max_examples=50)
+    @given(cpis)
+    def test_perfect_sharing_upper_bound(self, st_cpis):
+        """Multithreaded CPI can't beat single-threaded: STP <= n."""
+        mt = list(st_cpis)  # equal CPIs: no slowdown at all
+        assert stp(st_cpis, mt) == pytest.approx(len(st_cpis))
+
+
+class TestANTT:
+    def test_no_slowdown(self):
+        assert antt([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_uniform_double_slowdown(self):
+        assert antt([1.0, 1.0], [2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_paper_definition(self):
+        assert antt([1.0, 2.0], [3.0, 3.0]) == pytest.approx((3.0 + 1.5) / 2)
+
+    @settings(max_examples=50)
+    @given(cpis, st.floats(min_value=1.0, max_value=10.0))
+    def test_slowdown_scales(self, st_cpis, factor):
+        mt = [c * factor for c in st_cpis]
+        assert antt(st_cpis, mt) == pytest.approx(factor)
+
+    @settings(max_examples=50)
+    @given(cpis)
+    def test_reciprocal_relation_single_program(self, st_cpis):
+        """For one program, ANTT = 1/STP exactly."""
+        one_st, one_mt = [st_cpis[0]], [st_cpis[0] * 3]
+        assert antt(one_st, one_mt) == pytest.approx(1.0 / stp(one_st, one_mt))
+
+
+class TestMeans:
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 4.0]) == pytest.approx(8 / 3)
+
+    def test_harmonic_below_arithmetic(self):
+        values = [1.0, 2.0, 7.0]
+        assert harmonic_mean(values) < arithmetic_mean(values)
+
+    def test_summarize_uses_paper_rules(self):
+        # STP averaged harmonically, ANTT arithmetically (John 2006).
+        assert summarize_stp([2.0, 4.0]) == pytest.approx(harmonic_mean([2.0, 4.0]))
+        assert summarize_antt([2.0, 4.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_harmonic_rejects_zero(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([0.0, 1.0])

@@ -1,0 +1,217 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each class pins one invariant of a core data structure against a reference
+model or an algebraic identity, over randomly generated inputs — the
+properties the rest of the system silently relies on.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import antt, harmonic_mean, stp
+from repro.predictors import LLSR
+from repro.report import format_table, hbar_chart, markdown_table
+from repro.workloads import BenchmarkSpec, SlotKind, build_body
+
+# --------------------------------------------------------------------- #
+# LLSR vs. reference model
+# --------------------------------------------------------------------- #
+
+bits_and_deps = st.lists(
+    st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=300)
+
+
+def reference_distances(length, events):
+    """Straight-line reimplementation of the LLSR semantics."""
+    register = []  # (bit, pc)
+    out = []
+    for pc, (is_ll, _dep) in enumerate(events):
+        register.append((1 if is_ll else 0, pc if is_ll else -1))
+        if len(register) <= length:
+            continue
+        head_bit, head_pc = register.pop(0)
+        if head_bit:
+            distance = 0
+            for idx in range(len(register) - 1, -1, -1):
+                if register[idx][0]:
+                    distance = idx + 1
+                    break
+            out.append((head_pc, distance))
+    return out
+
+
+class TestLLSRModel:
+    @settings(max_examples=60, deadline=None)
+    @given(bits_and_deps, st.integers(min_value=2, max_value=64))
+    def test_matches_reference_model(self, events, length):
+        llsr = LLSR(length)
+        for pc, (is_ll, _) in enumerate(events):
+            llsr.commit(is_ll, pc=pc)
+        assert llsr.measured == reference_distances(length, events)
+
+    @settings(max_examples=60, deadline=None)
+    @given(bits_and_deps, st.integers(min_value=2, max_value=64))
+    def test_dependence_filter_equals_masked_plain_llsr(self, events, length):
+        """Filtering dependent loads is exactly masking their bits to 0."""
+        aware = LLSR(length, exclude_dependent=True)
+        masked = LLSR(length)
+        for pc, (is_ll, dep) in enumerate(events):
+            aware.commit(is_ll, pc=pc, dependent=dep)
+            masked.commit(is_ll and not dep, pc=pc)
+        assert aware.measured == masked.measured
+        assert aware.suppressed == sum(
+            1 for is_ll, dep in events if is_ll and dep)
+
+    @settings(max_examples=60, deadline=None)
+    @given(bits_and_deps, st.integers(min_value=2, max_value=64))
+    def test_distances_bounded_by_length(self, events, length):
+        llsr = LLSR(length)
+        for pc, (is_ll, _) in enumerate(events):
+            llsr.commit(is_ll, pc=pc)
+        assert all(0 <= d <= length for _, d in llsr.measured)
+        assert llsr.occupancy <= length
+
+
+# --------------------------------------------------------------------- #
+# STP / ANTT algebra
+# --------------------------------------------------------------------- #
+
+cpis = st.lists(st.floats(min_value=0.1, max_value=100.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=8)
+
+
+class TestMetricsAlgebra:
+    @settings(max_examples=100, deadline=None)
+    @given(cpis)
+    def test_no_interference_limits(self, st_cpis):
+        """MT == ST means STP = n (perfect scaling) and ANTT = 1."""
+        assert stp(st_cpis, st_cpis) == (len(st_cpis))
+        assert antt(st_cpis, st_cpis) == 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(cpis, st.floats(min_value=1.0, max_value=10.0))
+    def test_uniform_slowdown_scales_both_metrics(self, st_cpis, k):
+        mt_cpis = [c * k for c in st_cpis]
+        n = len(st_cpis)
+        assert math.isclose(stp(st_cpis, mt_cpis), n / k, rel_tol=1e-9)
+        assert math.isclose(antt(st_cpis, mt_cpis), k, rel_tol=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=100.0)),
+        min_size=2, max_size=8))
+    def test_permutation_invariance(self, pairs):
+        st_cpis = [p[0] for p in pairs]
+        mt_cpis = [p[1] for p in pairs]
+        rev_st, rev_mt = st_cpis[::-1], mt_cpis[::-1]
+        assert math.isclose(stp(st_cpis, mt_cpis), stp(rev_st, rev_mt))
+        assert math.isclose(antt(st_cpis, mt_cpis), antt(rev_st, rev_mt))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=1000.0),
+                    min_size=1, max_size=10))
+    def test_harmonic_mean_below_arithmetic(self, values):
+        hm = harmonic_mean(values)
+        am = sum(values) / len(values)
+        assert hm <= am * (1 + 1e-9)
+        assert min(values) * (1 - 1e-9) <= hm <= max(values) * (1 + 1e-9)
+
+
+# --------------------------------------------------------------------- #
+# workload body construction
+# --------------------------------------------------------------------- #
+
+specs = st.builds(
+    BenchmarkSpec,
+    name=st.just("prop"),
+    streams=st.integers(min_value=0, max_value=6),
+    chase_chains=st.integers(min_value=0, max_value=4),
+    chase_dependents=st.integers(min_value=0, max_value=3),
+    burst_loads=st.integers(min_value=0, max_value=8),
+    random_loads=st.integers(min_value=0, max_value=4),
+    hot_loads=st.integers(min_value=0, max_value=6),
+    stores=st.integers(min_value=0, max_value=3),
+    int_ops=st.integers(min_value=0, max_value=20),
+    fp_ops=st.integers(min_value=0, max_value=10),
+    cond_branches=st.integers(min_value=0, max_value=3),
+    spread=st.floats(min_value=0.0, max_value=1.0),
+    fp_data=st.booleans(),
+)
+
+
+class TestBodyConstruction:
+    @settings(max_examples=80, deadline=None)
+    @given(specs)
+    def test_body_length_matches_spec(self, spec):
+        body = build_body(spec)
+        assert len(body) == spec.body_length
+
+    @settings(max_examples=80, deadline=None)
+    @given(specs)
+    def test_structure_and_pcs(self, spec):
+        body = build_body(spec)
+        assert body[0].kind is SlotKind.INDUCTION
+        assert body[-1].kind is SlotKind.LOOP_BRANCH
+        assert [s.pc for s in body] == list(range(len(body)))
+
+    @settings(max_examples=80, deadline=None)
+    @given(specs)
+    def test_every_kernel_slot_materializes(self, spec):
+        body = build_body(spec)
+        counts = {}
+        for slot in body:
+            counts[slot.kind] = counts.get(slot.kind, 0) + 1
+        assert counts.get(SlotKind.STREAM_LOAD, 0) == spec.streams
+        assert counts.get(SlotKind.CHASE_LOAD, 0) == spec.chase_chains
+        assert counts.get(SlotKind.BURST_LOAD, 0) == spec.burst_loads
+        assert counts.get(SlotKind.STORE, 0) == spec.stores
+        assert counts.get(SlotKind.COND_BRANCH, 0) == spec.cond_branches
+
+
+# --------------------------------------------------------------------- #
+# report rendering
+# --------------------------------------------------------------------- #
+
+_label_alphabet = st.characters(
+    min_codepoint=32, max_codepoint=126, blacklist_characters="|")
+labels = st.text(alphabet=_label_alphabet, min_size=1, max_size=12)
+
+chart_items = st.lists(
+    st.tuples(labels,
+              st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)),
+    min_size=1, max_size=10)
+
+
+class TestReportProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(chart_items, st.integers(min_value=4, max_value=60))
+    def test_hbar_one_line_per_item_and_bounded_bars(self, items, width):
+        chart = hbar_chart(items, width=width)
+        lines = chart.splitlines()
+        assert len(lines) == len(items)
+        for line in lines:
+            assert line.count("█") <= width
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(
+        st.text(alphabet=_label_alphabet, max_size=8),
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)),
+        min_size=0, max_size=10))
+    def test_markdown_table_row_count(self, rows):
+        md = markdown_table(("a", "b"), rows)
+        assert len(md.splitlines()) == 2 + len(rows)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(
+        st.text(alphabet=_label_alphabet, min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=10**9)),
+        min_size=1, max_size=10))
+    def test_format_table_columns_align(self, rows):
+        table = format_table(("name", "value"), rows)
+        lines = table.splitlines()
+        assert len({len(line) for line in lines[:2]}) == 1

@@ -1,0 +1,124 @@
+"""Tests for the benchmark registry (Table I) and workload mixes (II/III)."""
+
+import pytest
+
+from repro.workloads import (
+    BENCHMARKS,
+    ILP_BENCHMARKS,
+    MLP_BENCHMARKS,
+    TABLE_I,
+    TWO_THREAD_ILP,
+    TWO_THREAD_MLP,
+    TWO_THREAD_MIXED,
+    FOUR_THREAD_WORKLOADS,
+    benchmark,
+    workload_category,
+)
+from repro.workloads.mixes import (
+    all_four_thread_workloads,
+    all_two_thread_workloads,
+)
+
+
+class TestTableI:
+    def test_all_26_spec_benchmarks_present(self):
+        assert len(TABLE_I) == 26
+        assert len(BENCHMARKS) == 26
+        assert set(TABLE_I) == set(BENCHMARKS)
+
+    def test_published_values_spotcheck(self):
+        assert TABLE_I["mcf"].lll_per_kilo == 17.36
+        assert TABLE_I["mcf"].mlp == 5.17
+        assert TABLE_I["fma3d"].mlp_impact == 0.7787
+        assert TABLE_I["art"].category == "ILP"
+        assert TABLE_I["swim"].category == "MLP"
+
+    def test_category_partition(self):
+        assert set(MLP_BENCHMARKS) | set(ILP_BENCHMARKS) == set(TABLE_I)
+        assert not set(MLP_BENCHMARKS) & set(ILP_BENCHMARKS)
+        assert len(MLP_BENCHMARKS) == 12  # Table I: 12 MLP-intensive programs
+
+    def test_classification_follows_10pct_rule(self):
+        for name, row in TABLE_I.items():
+            expected = "MLP" if row.mlp_impact > 0.10 else "ILP"
+            assert row.category == expected, name
+
+    def test_lookup_helper(self):
+        assert benchmark("swim").name == "swim"
+        with pytest.raises(KeyError):
+            benchmark("doom3")
+
+
+class TestSpecCalibration:
+    """The analytic miss rate of each spec must match Table I."""
+
+    @pytest.mark.parametrize("name", sorted(TABLE_I))
+    def test_expected_rate_close_to_paper(self, name):
+        spec = BENCHMARKS[name]
+        target = TABLE_I[name].lll_per_kilo
+        got = spec.expected_lll_per_kilo
+        assert abs(got - target) <= max(0.25 * target, 0.06), \
+            f"{name}: expected {target}, spec gives {got:.2f}"
+
+    @pytest.mark.parametrize("name", sorted(TABLE_I))
+    def test_bodies_are_reasonable(self, name):
+        spec = BENCHMARKS[name]
+        assert 20 <= spec.body_length <= 300
+
+
+class TestTableII:
+    def test_group_sizes(self):
+        assert len(TWO_THREAD_ILP) == 6
+        assert len(TWO_THREAD_MLP) == 12
+        assert len(TWO_THREAD_MIXED) == 18
+
+    def test_spotcheck_pairs(self):
+        assert ("mcf", "swim") in TWO_THREAD_MLP
+        assert ("vpr", "mcf") in TWO_THREAD_MIXED
+        assert ("vortex", "parser") in TWO_THREAD_ILP
+
+    def test_all_members_are_known_benchmarks(self):
+        for pair in all_two_thread_workloads():
+            for name in pair:
+                assert name in BENCHMARKS
+
+    def test_ilp_group_is_pure_ilp(self):
+        for pair in TWO_THREAD_ILP:
+            assert workload_category(pair) == "ILP"
+
+    def test_mlp_group_is_pure_mlp(self):
+        for pair in TWO_THREAD_MLP:
+            assert workload_category(pair) == "MLP"
+
+    def test_mixed_group_is_mixed(self):
+        for pair in TWO_THREAD_MIXED:
+            assert workload_category(pair) == "MIX"
+
+
+class TestTableIII:
+    def test_workload_counts_by_mlp_members(self):
+        assert len(FOUR_THREAD_WORKLOADS[0]) == 5
+        assert len(FOUR_THREAD_WORKLOADS[1]) == 6
+        assert len(FOUR_THREAD_WORKLOADS[2]) == 10
+        assert len(FOUR_THREAD_WORKLOADS[3]) == 6
+        assert len(FOUR_THREAD_WORKLOADS[4]) == 3
+
+    def test_total_thirty_workloads(self):
+        assert len(all_four_thread_workloads()) == 30
+
+    def test_every_member_is_a_benchmark(self):
+        for quad in all_four_thread_workloads():
+            assert len(quad) == 4
+            for name in quad:
+                assert name in BENCHMARKS
+
+    def test_spotcheck(self):
+        assert ("applu", "galgel", "swim", "mesa") in FOUR_THREAD_WORKLOADS[4]
+        assert ("vortex", "parser", "crafty", "twolf") in FOUR_THREAD_WORKLOADS[0]
+
+
+class TestWorkloadCategory:
+    def test_categories(self):
+        assert workload_category(("crafty", "twolf")) == "ILP"
+        assert workload_category(("mcf", "swim")) == "MLP"
+        assert workload_category(("mcf", "twolf")) == "MIX"

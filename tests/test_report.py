@@ -1,0 +1,121 @@
+"""Report rendering: charts and tables."""
+
+import pytest
+
+from repro.report import (
+    cdf_chart,
+    format_table,
+    grouped_hbar_chart,
+    hbar_chart,
+    markdown_table,
+)
+
+
+class TestHBarChart:
+    def test_longest_bar_belongs_to_max(self):
+        chart = hbar_chart([("small", 1.0), ("big", 4.0)], width=8)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 8
+        assert lines[0].count("█") == 2
+
+    def test_values_are_printed(self):
+        chart = hbar_chart([("a", 1.234)], fmt="{:.2f}")
+        assert "1.23" in chart
+
+    def test_title_is_first_line(self):
+        chart = hbar_chart([("a", 1.0)], title="STP")
+        assert chart.splitlines()[0] == "STP"
+
+    def test_empty_input(self):
+        assert hbar_chart([]) == "(no data)"
+
+    def test_zero_and_negative_values_render_no_bar(self):
+        chart = hbar_chart([("zero", 0.0), ("pos", 1.0)])
+        zero_line = chart.splitlines()[0]
+        assert "█" not in zero_line
+
+    def test_labels_are_aligned(self):
+        chart = hbar_chart([("x", 1.0), ("longname", 2.0)])
+        lines = chart.splitlines()
+        bars = [line.index("█") for line in lines if "█" in line]
+        assert len(set(bars)) == 1
+
+
+class TestGroupedHBarChart:
+    def test_groups_and_series_listed(self):
+        chart = grouped_hbar_chart(
+            {"mcf-swim": {"icount": 1.0, "mlp_flush": 1.4},
+             "vpr-mcf": {"icount": 1.1, "mlp_flush": 1.3}})
+        assert "mcf-swim:" in chart
+        assert "vpr-mcf:" in chart
+        assert chart.count("icount") == 2
+
+    def test_scaling_is_global_across_groups(self):
+        chart = grouped_hbar_chart(
+            {"a": {"p": 4.0}, "b": {"p": 1.0}}, width=8)
+        lines = [l for l in chart.splitlines() if "█" in l]
+        assert lines[0].count("█") == 8
+        assert lines[1].count("█") == 2
+
+    def test_empty(self):
+        assert grouped_hbar_chart({}) == "(no data)"
+
+
+class TestCDFChart:
+    def test_legend_and_axis(self):
+        chart = cdf_chart({"mcf": [10.0, 50.0, 120.0]}, width=20, height=6)
+        assert "* mcf" in chart
+        assert "120" in chart
+
+    def test_short_distance_series_saturates_early(self):
+        chart = cdf_chart({"short": [1.0] * 10, "long": [100.0] * 10},
+                          width=20, height=6)
+        top_row = chart.splitlines()[0]
+        # 'short' reaches 100% on the far left, 'long' only at the end.
+        assert top_row.index("*") < top_row.index("o")
+
+    def test_empty_series_dropped(self):
+        assert cdf_chart({"none": []}) == "(no data)"
+
+    def test_x_label_shown(self):
+        chart = cdf_chart({"a": [1.0]}, x_label="instructions")
+        assert "instructions" in chart
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(("name", "stp"), [("mcf", 1.5), ("swim", 2.0)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in table
+        assert "2.000" in table
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_rejects_bad_aligns(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [("x",)], aligns="<>")
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(("h",), [("a-very-wide-cell",)])
+        header, sep, row = table.splitlines()
+        assert len(sep) == len("a-very-wide-cell")
+
+
+class TestMarkdownTable:
+    def test_header_separator_and_rows(self):
+        md = markdown_table(("name", "value"), [("x", 1.0)])
+        lines = md.splitlines()
+        assert lines[0] == "| name | value |"
+        assert lines[1] == "| --- | ---: |"
+        assert lines[2] == "| x | 1.000 |"
+
+    def test_explicit_aligns(self):
+        md = markdown_table(("a", "b"), [], aligns="<<")
+        assert md.splitlines()[1] == "| --- | --- |"
+
+    def test_rejects_bad_aligns(self):
+        with pytest.raises(ValueError):
+            markdown_table(("a",), [], aligns="<>")

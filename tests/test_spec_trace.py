@@ -1,0 +1,209 @@
+"""Tests for benchmark specs, body construction, and synthetic traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import scaled_memory
+from repro.isa import Op
+from repro.workloads import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    SlotKind,
+    SyntheticTrace,
+    build_body,
+)
+
+MEM = scaled_memory(16)
+
+
+def spec_strategy():
+    return st.builds(
+        BenchmarkSpec,
+        name=st.just("gen"),
+        fp_data=st.booleans(),
+        streams=st.integers(0, 8),
+        stream_stagger=st.floats(0.0, 1.0),
+        chase_chains=st.integers(0, 4),
+        chase_every=st.integers(1, 8),
+        chase_dependents=st.integers(0, 3),
+        burst_loads=st.integers(0, 6),
+        burst_every=st.integers(1, 50),
+        random_loads=st.integers(0, 3),
+        hot_loads=st.integers(0, 8),
+        stores=st.integers(0, 4),
+        stream_stores=st.integers(0, 2),
+        int_ops=st.integers(0, 30),
+        fp_ops=st.integers(0, 30),
+        cond_branches=st.integers(0, 6),
+        spread=st.floats(0.0, 1.0),
+    )
+
+
+class TestBodyConstruction:
+    def test_body_length_property_matches_built_body(self):
+        for name, spec in BENCHMARKS.items():
+            assert len(build_body(spec)) == spec.body_length, name
+
+    def test_body_starts_with_induction_ends_with_loop_branch(self):
+        body = build_body(BENCHMARKS["swim"])
+        assert body[0].kind is SlotKind.INDUCTION
+        assert body[-1].kind is SlotKind.LOOP_BRANCH
+
+    def test_pcs_are_sequential(self):
+        body = build_body(BENCHMARKS["mcf"])
+        assert [s.pc for s in body] == list(range(len(body)))
+
+    def test_slot_population_matches_spec(self):
+        spec = BENCHMARKS["equake"]
+        body = build_body(spec)
+        count = lambda kind: sum(1 for s in body if s.kind is kind)
+        assert count(SlotKind.STREAM_LOAD) == spec.streams
+        assert count(SlotKind.CHASE_LOAD) == spec.chase_chains
+        assert count(SlotKind.HOT_LOAD) == spec.hot_loads
+        assert count(SlotKind.STORE) == spec.stores
+        assert count(SlotKind.COND_BRANCH) == spec.cond_branches
+
+    def test_chase_dependents_consume_chain_register(self):
+        spec = BENCHMARKS["mcf"]
+        body = build_body(spec)
+        chains = {s.dest for s in body if s.kind is SlotKind.CHASE_LOAD}
+        dependents = [s for s in body
+                      if s.kind is SlotKind.CONSUMER and s.srcs[0] in chains]
+        assert len(dependents) == spec.chase_chains * spec.chase_dependents
+
+    def test_rejects_invalid_spread(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", spread=1.5)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", streams=-1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec_strategy())
+    def test_arbitrary_specs_build_consistent_bodies(self, spec):
+        body = build_body(spec)
+        assert len(body) == spec.body_length
+        # No slot lost in placement, pcs sequential.
+        assert [s.pc for s in body] == list(range(len(body)))
+        # Dests stay within the architectural register space.
+        for s in body:
+            if s.dest is not None:
+                assert 0 <= s.dest < 64
+
+
+class TestSyntheticTrace:
+    def test_stateless_regeneration(self):
+        trace = SyntheticTrace(BENCHMARKS["swim"], MEM, seed=1)
+        a = [trace.get(i) for i in range(500)]
+        b = [trace.get(i) for i in range(500)]
+        for x, y in zip(a, b):
+            assert x.pc == y.pc and x.op == y.op and x.addr == y.addr \
+                and x.taken == y.taken
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_rewind_identity(self, index):
+        """Regenerating after reading ahead gives identical instructions —
+        the property pipeline flushes rely on."""
+        trace = SyntheticTrace(BENCHMARKS["mcf"], MEM, seed=3)
+        first = trace.get(index)
+        trace.get(index + 500)
+        again = trace.get(index)
+        assert first.pc == again.pc
+        assert first.addr == again.addr
+        assert first.taken == again.taken
+
+    def test_seed_changes_randomized_slots(self):
+        t1 = SyntheticTrace(BENCHMARKS["art"], MEM, seed=1)
+        t2 = SyntheticTrace(BENCHMARKS["art"], MEM, seed=2)
+        diffs = sum(
+            1 for i in range(2000)
+            if t1.get(i).addr != t2.get(i).addr
+            and t1.get(i).op is Op.LOAD)
+        assert diffs > 0
+
+    def test_slot_independent_content(self):
+        """The same program in a different hardware-thread slot executes
+        the same instruction stream (modulo address/pc bases)."""
+        t0 = SyntheticTrace(BENCHMARKS["swim"], MEM, seed=7,
+                            base=1 << 48, pc_base=1 << 20)
+        t1 = SyntheticTrace(BENCHMARKS["swim"], MEM, seed=7,
+                            base=2 << 48, pc_base=2 << 20)
+        for i in range(1000):
+            a, b = t0.get(i), t1.get(i)
+            assert a.op == b.op
+            assert a.pc - (1 << 20) == b.pc - (2 << 20)
+            if a.addr is not None:
+                assert a.addr - (1 << 48) == b.addr - (2 << 48)
+            assert a.taken == b.taken
+
+    def test_stream_loads_advance_by_stride(self):
+        spec = BENCHMARKS["swim"]
+        trace = SyntheticTrace(spec, MEM, seed=1)
+        stream_pcs = [s.pc for s in trace.body
+                      if s.kind is SlotKind.STREAM_LOAD]
+        pc = stream_pcs[0]
+        addrs = []
+        for i in range(3 * trace.body_len):
+            instr = trace.get(i)
+            if instr.pc == pc:
+                addrs.append(instr.addr)
+        assert addrs[1] - addrs[0] == spec.stream_stride
+        assert addrs[2] - addrs[1] == spec.stream_stride
+
+    def test_hot_loads_stay_in_hot_region(self):
+        trace = SyntheticTrace(BENCHMARKS["vortex"], MEM, seed=1)
+        hot_pcs = {s.pc for s in trace.body if s.kind is SlotKind.HOT_LOAD}
+        lo = trace.hot_base
+        hi = lo + trace.hot_lines * 64
+        for i in range(5 * trace.body_len):
+            instr = trace.get(i)
+            if instr.pc in hot_pcs:
+                assert lo <= instr.addr < hi
+
+    def test_burst_fires_on_schedule(self):
+        spec = BENCHMARKS["apsi"]
+        trace = SyntheticTrace(spec, MEM, seed=1)
+        burst_pcs = {s.pc for s in trace.body if s.kind is SlotKind.BURST_LOAD}
+        burst_lo = trace.burst_base
+        burst_hi = burst_lo + trace.burst_lines * 64
+        for iteration in (0, spec.burst_every, 2 * spec.burst_every):
+            for pos in range(trace.body_len):
+                instr = trace.get(iteration * trace.body_len + pos)
+                if instr.pc in burst_pcs:
+                    assert burst_lo <= instr.addr < burst_hi
+        # Off-schedule iterations go to the hot region instead.
+        for pos in range(trace.body_len):
+            instr = trace.get((1) * trace.body_len + pos)
+            if instr.pc in burst_pcs:
+                assert not (burst_lo <= instr.addr < burst_hi)
+
+    def test_chase_is_serial_within_chain(self):
+        trace = SyntheticTrace(BENCHMARKS["mcf"], MEM, seed=1)
+        chase = [s for s in trace.body if s.kind is SlotKind.CHASE_LOAD]
+        for slot in chase:
+            assert slot.srcs == (slot.dest,)
+
+    def test_regions_do_not_overlap(self):
+        trace = SyntheticTrace(BENCHMARKS["equake"], MEM, seed=1)
+        regions = [(trace.hot_base, trace.hot_lines * 64),
+                   (trace.burst_base, trace.burst_lines * 64),
+                   (trace.random_base, trace.random_lines * 64)]
+        regions += [(b, trace.stream_fp) for b in trace.stream_bases]
+        regions += [(b, trace.chase_fp_lines * 64) for b in trace.chase_bases]
+        spans = sorted((start, start + size) for start, size in regions)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, "address regions overlap"
+
+    def test_loop_branch_always_taken(self):
+        trace = SyntheticTrace(BENCHMARKS["gap"], MEM, seed=1)
+        last = trace.body_len - 1
+        for it in range(5):
+            assert trace.get(it * trace.body_len + last).taken
+
+
+class TestHotFootprintScaling:
+    def test_hot_set_capped_to_half_l1(self):
+        trace = SyntheticTrace(BENCHMARKS["vortex"], MEM, seed=1)
+        assert trace.hot_lines * 64 <= MEM.l1d.size // 2

@@ -1,0 +1,110 @@
+"""Tests for the stride predictor and the stream-buffer prefetcher."""
+
+from repro.config import PrefetcherConfig
+from repro.memory import StreamBufferPrefetcher, StridePredictor
+
+
+class TestStridePredictor:
+    def test_learns_constant_stride(self):
+        p = StridePredictor()
+        for i in range(4):
+            p.observe(5, 1000 + 8 * i)
+        assert p.confident_stride(5) == 8
+
+    def test_needs_confidence(self):
+        p = StridePredictor(confidence_threshold=2)
+        p.observe(5, 0)
+        p.observe(5, 8)      # first stride observation, confidence 0->?
+        assert p.confident_stride(5) is None
+
+    def test_irregular_pattern_not_confident(self):
+        p = StridePredictor()
+        for addr in (0, 8, 100, 7, 900, 24):
+            p.observe(5, addr)
+        assert p.confident_stride(5) is None
+
+    def test_zero_stride_rejected(self):
+        p = StridePredictor()
+        for _ in range(5):
+            p.observe(5, 4096)
+        assert p.confident_stride(5) is None
+
+    def test_negative_stride(self):
+        p = StridePredictor()
+        for i in range(5):
+            p.observe(5, 10_000 - 64 * i)
+        assert p.confident_stride(5) == -64
+
+    def test_relearns_after_change(self):
+        p = StridePredictor()
+        for i in range(5):
+            p.observe(5, 8 * i)
+        for i in range(8):
+            p.observe(5, 100_000 + 128 * i)
+        assert p.confident_stride(5) == 128
+
+
+def make_prefetcher(buffers=2, entries=4, mem_latency=100):
+    cfg = PrefetcherConfig(num_buffers=buffers, buffer_entries=entries)
+    return StreamBufferPrefetcher(cfg, line_size=64, mem_latency=mem_latency)
+
+
+def train_stride(pf, pc, base, stride, count=4):
+    for i in range(count):
+        pf.observe_load(pc, base + stride * i)
+
+
+class TestStreamBuffer:
+    def test_no_allocation_without_confidence(self):
+        pf = make_prefetcher()
+        assert pf.demand_miss(9, 4096, 0) is None
+        assert pf.allocations == 0
+
+    def test_allocation_then_hits_next_lines(self):
+        pf = make_prefetcher()
+        train_stride(pf, 5, 0, 8)
+        assert pf.demand_miss(5, 64, 0) is None       # allocates
+        assert pf.allocations == 1
+        ready = pf.demand_miss(5, 128, 500)           # next line: buffered
+        assert ready is not None
+
+    def test_hit_supplies_after_fill_latency(self):
+        pf = make_prefetcher(mem_latency=100)
+        train_stride(pf, 5, 0, 8)
+        pf.demand_miss(5, 64, 0)
+        ready = pf.demand_miss(5, 128, 10)            # fill still in flight
+        assert ready == 100                           # issued at 0 +100
+
+    def test_buffer_slides_forward(self):
+        pf = make_prefetcher(entries=4, mem_latency=10)
+        train_stride(pf, 5, 0, 8)
+        pf.demand_miss(5, 64, 0)
+        for step in range(2, 8):
+            ready = pf.demand_miss(5, 64 * step, 1000 * step)
+            assert ready is not None, f"line {step} not prefetched"
+
+    def test_usefulness_replacement_protects_hitting_streams(self):
+        pf = make_prefetcher(buffers=1, entries=4, mem_latency=10)
+        train_stride(pf, 5, 0, 8)
+        train_stride(pf, 9, 1 << 20, 8)
+        pf.demand_miss(5, 64, 0)                      # stream A allocates
+        assert pf.demand_miss(5, 128, 100) is not None  # A hits
+        pf.demand_miss(9, (1 << 20) + 64, 200)        # B wants the buffer
+        # A is producing hits and keeps its slot; B is not allocated.
+        assert pf.demand_miss(5, 192, 300) is not None
+        # Once A has been idle past the reclaim window, B finally wins.
+        pf.demand_miss(9, (1 << 20) + 64, 2000)       # reallocates to B
+        assert pf.demand_miss(9, (1 << 20) + 128, 2100) is not None
+
+    def test_hit_rate_stat(self):
+        pf = make_prefetcher()
+        train_stride(pf, 5, 0, 8)
+        pf.demand_miss(5, 64, 0)
+        pf.demand_miss(5, 128, 500)
+        assert 0.0 < pf.hit_rate <= 1.0
+
+    def test_large_stride_allocates_line_steps(self):
+        pf = make_prefetcher(entries=4, mem_latency=10)
+        train_stride(pf, 5, 0, 256)                   # 4-line stride
+        pf.demand_miss(5, 1024, 0)
+        assert pf.demand_miss(5, 1024 + 256, 100) is not None

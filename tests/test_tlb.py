@@ -1,0 +1,62 @@
+"""Tests for the fully-associative TLB."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import TLBConfig
+from repro.memory import TLB
+
+
+def make_tlb(entries=4, page=8192):
+    return TLB(TLBConfig(entries, page))
+
+
+class TestTLB:
+    def test_miss_installs_entry(self):
+        t = make_tlb()
+        assert not t.lookup(0)
+        assert t.lookup(0)
+
+    def test_same_page_hits(self):
+        t = make_tlb()
+        t.lookup(0)
+        assert t.lookup(8191)
+        assert not t.lookup(8192)
+
+    def test_lru_eviction(self):
+        t = make_tlb(entries=2)
+        t.lookup(0 * 8192)
+        t.lookup(1 * 8192)
+        t.lookup(0 * 8192)          # page 0 MRU
+        t.lookup(2 * 8192)          # evicts page 1
+        assert t.lookup(0 * 8192)
+        assert not t.lookup(1 * 8192)
+
+    def test_miss_rate(self):
+        t = make_tlb()
+        t.lookup(0)
+        t.lookup(0)
+        assert t.miss_rate == 0.5
+
+    def test_reset_stats(self):
+        t = make_tlb()
+        t.lookup(0)
+        t.reset_stats()
+        assert t.hits == 0 and t.misses == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 30),
+                    min_size=1, max_size=300))
+    def test_capacity_bound(self, addresses):
+        t = make_tlb(entries=8)
+        for addr in addresses:
+            t.lookup(addr)
+        assert len(t._entries) <= 8
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 30),
+                    min_size=1, max_size=100))
+    def test_repeat_access_always_hits(self, addresses):
+        t = make_tlb(entries=8)
+        for addr in addresses:
+            t.lookup(addr)
+            assert t.lookup(addr)

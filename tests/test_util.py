@@ -1,0 +1,56 @@
+"""Tests for the deterministic hashing utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import bounded, mix64, uniform_double
+
+keys = st.integers(min_value=0, max_value=2**63)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(1, 2, 3) == mix64(1, 2, 3)
+
+    def test_key_order_matters(self):
+        assert mix64(1, 2) != mix64(2, 1)
+
+    def test_distinct_keys_distinct_hashes(self):
+        values = {mix64(i) for i in range(10_000)}
+        assert len(values) == 10_000
+
+    @given(keys, keys)
+    def test_fits_64_bits(self, a, b):
+        assert 0 <= mix64(a, b) < 2**64
+
+    def test_avalanche_single_bit(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        base = mix64(0x1234)
+        flipped = mix64(0x1234 ^ 1)
+        differing = bin(base ^ flipped).count("1")
+        assert 16 <= differing <= 48
+
+
+class TestUniformDouble:
+    @given(keys, keys)
+    def test_unit_interval(self, a, b):
+        assert 0.0 <= uniform_double(a, b) < 1.0
+
+    def test_mean_is_half(self):
+        n = 5000
+        mean = sum(uniform_double(7, i) for i in range(n)) / n
+        assert abs(mean - 0.5) < 0.02
+
+
+class TestBounded:
+    @given(st.integers(min_value=1, max_value=10**9), keys)
+    def test_in_range(self, n, k):
+        assert 0 <= bounded(n, k) < n
+
+    def test_rejects_zero_bound(self):
+        with pytest.raises(ValueError):
+            bounded(0, 1)
+
+    def test_covers_small_range(self):
+        seen = {bounded(4, i) for i in range(100)}
+        assert seen == {0, 1, 2, 3}
