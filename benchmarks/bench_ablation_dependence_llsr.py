@@ -33,7 +33,7 @@ def run_ablation():
     rows = []
     for dep_aware in (False, True):
         cfg = _config(dep_aware)
-        clear_baseline_cache()
+        clear_baseline_cache(disk=False)
         for names in WORKLOADS:
             result = evaluate_workload(names, cfg, "mlp_flush", budget)
             _, core = run_workload(names, cfg, "mlp_flush", budget)
@@ -48,7 +48,7 @@ def run_ablation():
                 "mean_distance": (sum(measured) / len(measured)
                                   if measured else 0.0),
             })
-    clear_baseline_cache()
+    clear_baseline_cache(disk=False)
     return rows
 
 

@@ -42,13 +42,13 @@ def run_ablation():
         accuracy[kind] = per_prog
     policy_rows = {}
     for kind in KINDS:
-        clear_baseline_cache()
+        clear_baseline_cache(disk=False)
         result = evaluate_workload(("swim", "twolf"), _config(kind),
                                    "mlp_stall", budget)
         policy_rows[kind] = (result.stp, result.antt)
     small = run_single("swim", _config("miss_pattern", entries=64,
                                        num_threads=1), budget, warmup=1000)
-    clear_baseline_cache()
+    clear_baseline_cache(disk=False)
     return accuracy, policy_rows, small.threads[0].lll_predictor_accuracy
 
 

@@ -24,12 +24,12 @@ def run_ablation():
         cfg = bench_config(2)
         cfg = replace(cfg, memory=replace(cfg.memory,
                                           cancel_squashed_fills=cancel))
-        clear_baseline_cache()
+        clear_baseline_cache(disk=False)
         for names in WORKLOADS:
             for policy in POLICIES:
                 r = evaluate_workload(names, cfg, policy, bench_commits())
                 rows.append((cancel, names, policy, r.stp, r.antt))
-    clear_baseline_cache()
+    clear_baseline_cache(disk=False)
     return rows
 
 

@@ -1,12 +1,20 @@
 """Shared infrastructure for the per-figure benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper at reduced
-scale and prints measured rows next to the paper's published values.  Two
-environment knobs control scale:
+scale and prints measured rows next to the paper's published values.  The
+policy-comparison benches (``compare_policies`` and the sweeps) submit
+through the :mod:`repro.jobs` engine — parallel workers plus full result
+memoization; benches that call ``run_single``/``run_workload`` directly
+(the ablations, IPC stacks) stay serial and only reuse memoized
+single-thread baselines.  Environment knobs (full list in
+EXPERIMENTS.md):
 
-* ``REPRO_FULL=1``   — run the complete Table II/III workload lists instead
-  of the representative subsets.
-* ``REPRO_COMMITS``  — per-thread instruction budget (default here: 8000).
+* ``REPRO_FULL=1``     — run the complete Table II/III workload lists
+  instead of the representative subsets.
+* ``REPRO_COMMITS``    — per-thread instruction budget (default here: 8000).
+* ``REPRO_JOBS``       — worker processes per batch (default 1 = serial).
+* ``REPRO_CACHE_DIR``  — persistent result store location (default
+  ``~/.cache/repro``); ``REPRO_CACHE=0`` disables memoization.
 
 Keep in mind the caveat from EXPERIMENTS.md: absolute numbers differ from
 the paper (synthetic workloads, scaled caches, short runs); the comparisons
@@ -71,8 +79,20 @@ def four_thread_workloads():
     return _QUICK_4T
 
 
+def engine_status() -> str:
+    """One-line jobs-engine banner (workers + result-store state)."""
+    from repro.jobs import default_store, default_workers
+    store = default_store()
+    if store is None:
+        cache = "cache disabled (REPRO_CACHE=0)"
+    else:
+        cache = f"cache {store.root} ({len(store)} entries)"
+    return f"jobs engine: {default_workers()} worker(s), {cache}"
+
+
 def print_header(title: str) -> None:
     print()
     print("=" * 72)
     print(title)
+    print(engine_status())
     print("=" * 72)

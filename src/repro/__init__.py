@@ -18,6 +18,9 @@ ACM TACO 6(1), 2009).  The package contains:
 * :mod:`repro.metrics` — STP and ANTT.
 * :mod:`repro.experiments` — drivers that regenerate every table and
   figure of the evaluation.
+* :mod:`repro.jobs` — the parallel experiment-execution engine: content-
+  hashed job specs, a persistent result store, and a multiprocessing
+  batch executor (see EXPERIMENTS.md).
 
 Quickstart::
 

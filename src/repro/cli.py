@@ -9,6 +9,9 @@ Subcommands:
 * ``figure``        — regenerate a whole paper figure by id (see
   ``python -m repro figure`` for targets)
 * ``sweep``         — memory-latency or window-size sweeps (Figures 15–18)
+* ``jobs``          — the parallel experiment engine: ``jobs run`` submits
+  a workload×policy batch across ``REPRO_JOBS`` workers, ``jobs status``
+  inspects the persistent result store, ``jobs cache-clear`` empties it
 
 Every command accepts ``--commits`` to trade accuracy for runtime; the
 defaults match the benchmark harness (see ``repro.experiments.defaults``).
@@ -29,6 +32,7 @@ from repro.experiments import (
 )
 from repro.experiments.characterize import characterize
 from repro.experiments.profile import profile_benchmark
+from repro.jobs import JobSpec, default_store, default_workers, run_jobs
 from repro.policies import MAIN_COMPARISON, POLICIES
 from repro.report import cdf_chart, format_table, hbar_chart
 from repro.workloads import TABLE_I
@@ -90,10 +94,7 @@ def cmd_characterize(args) -> int:
 
 def cmd_compare(args) -> int:
     workloads = _parse_workloads(args.workload)
-    policies = _split(args.policies) if args.policies else MAIN_COMPARISON
-    for p in policies:
-        if p not in POLICIES:
-            raise SystemExit(f"unknown policy {p!r}")
+    policies = _parse_policies(args.policies)
     cfg = default_config(num_threads=len(workloads[0]))
     cells = compare_policies(workloads, policies, cfg, args.commits,
                              progress=print if args.verbose else None)
@@ -151,6 +152,48 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_policies(arg: str | None) -> tuple[str, ...]:
+    policies = _split(arg) if arg else MAIN_COMPARISON
+    for p in policies:
+        if p not in POLICIES:
+            raise SystemExit(f"unknown policy {p!r}")
+    return policies
+
+
+def cmd_jobs_run(args) -> int:
+    workloads = _parse_workloads(args.workload)
+    policies = _parse_policies(args.policies)
+    cfg = default_config(num_threads=len(workloads[0]))
+    specs = [JobSpec.workload(tuple(w), cfg, p, args.commits)
+             for w in workloads for p in policies]
+    batch = run_jobs(specs, workers=args.jobs,
+                     progress=print if args.verbose else None)
+    for spec in specs:
+        print(batch[spec])
+    print(f"\n[jobs] {batch.report}")
+    return 0
+
+
+def cmd_jobs_status(_args) -> int:
+    store = default_store()
+    if store is None:
+        print("result store: disabled (REPRO_CACHE=0)")
+        return 0
+    entries = len(store)
+    print(f"result store: {store.root}")
+    print(f"entries:      {entries} ({store.size_bytes() / 1024:.1f} KiB)")
+    print(f"workers:      {default_workers()} (REPRO_JOBS)")
+    return 0
+
+
+def cmd_jobs_cache_clear(_args) -> int:
+    store = default_store()
+    removed = store.clear() if store is not None else 0
+    where = store.root if store is not None else "disabled"
+    print(f"result store: {where} — removed {removed} entries")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # argument parsing
 # --------------------------------------------------------------------- #
@@ -195,6 +238,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-p", "--policies", help="comma-separated policy names")
     p.add_argument("-c", "--commits", type=int, default=None)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "jobs", help="parallel experiment engine / persistent result store")
+    jsub = p.add_subparsers(dest="jobs_command", required=True)
+    j = jsub.add_parser("run", help="run a workload×policy batch")
+    j.add_argument("-w", "--workload", action="append", required=True,
+                   metavar="A,B[,C,D]", help="repeatable workload mix")
+    j.add_argument("-p", "--policies", help="comma-separated policy names")
+    j.add_argument("-c", "--commits", type=int, default=None)
+    j.add_argument("-j", "--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or 1)")
+    j.add_argument("-v", "--verbose", action="store_true")
+    j.set_defaults(fn=cmd_jobs_run)
+    j = jsub.add_parser("status", help="inspect the result store")
+    j.set_defaults(fn=cmd_jobs_status)
+    j = jsub.add_parser("cache-clear", help="empty the result store")
+    j.set_defaults(fn=cmd_jobs_cache_clear)
     return parser
 
 

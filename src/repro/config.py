@@ -13,7 +13,9 @@ processor).  Two factory functions are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 KB = 1024
 MB = 1024 * KB
@@ -177,10 +179,34 @@ class SMTConfig:
             return self.llsr_length_override
         return self.rob_size // self.num_threads
 
+    def cache_key(self) -> str:
+        """Stable content fingerprint of this configuration.
+
+        Hashes the dataclass field tree (via canonical JSON) rather than
+        ``repr``, so the key survives repr-format changes and is identical
+        across processes.  :mod:`repro.jobs` uses it to key the persistent
+        result store.
+        """
+        blob = json.dumps(asdict(self), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
 
 def paper_baseline(num_threads: int = 2, **overrides) -> SMTConfig:
     """The exact Table IV configuration."""
     return replace(SMTConfig(num_threads=num_threads), **overrides)
+
+
+def single_thread_variant(cfg: SMTConfig) -> SMTConfig:
+    """``cfg`` reduced to one hardware thread (identity if already 1).
+
+    Single-threaded CPI baselines and multithreaded runs must share every
+    other parameter, so this is the only sanctioned way to derive the
+    baseline machine from a workload machine.
+    """
+    if cfg.num_threads == 1:
+        return cfg
+    return replace(cfg, num_threads=1)
 
 
 def scaled_memory(scale: int = 16) -> MemoryConfig:

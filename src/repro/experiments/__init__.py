@@ -14,10 +14,12 @@ from repro.experiments.defaults import (
 from repro.experiments.runner import (
     SingleThreadResult,
     WorkloadResult,
+    build_workload_result,
     clear_baseline_cache,
     evaluate_workload,
     run_single,
     run_workload,
+    simulate_baseline,
     single_thread_baseline,
     trace_for,
 )
@@ -25,6 +27,7 @@ from repro.experiments.characterize import CharacterizationRow, characterize
 from repro.experiments.profile import ProfileResult, profile_benchmark
 from repro.experiments.policy_comparison import (
     PolicyCell,
+    cells_from_batch,
     compare_policies,
     summarize_policies,
 )
@@ -36,6 +39,8 @@ __all__ = [
     "ProfileResult",
     "SingleThreadResult",
     "WorkloadResult",
+    "build_workload_result",
+    "cells_from_batch",
     "characterize",
     "clear_baseline_cache",
     "compare_policies",
@@ -48,6 +53,7 @@ __all__ = [
     "run_single",
     "run_workload",
     "scaled",
+    "simulate_baseline",
     "single_thread_baseline",
     "summarize_policies",
     "trace_for",

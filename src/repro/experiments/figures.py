@@ -85,6 +85,23 @@ TARGETS = {
 }
 
 
+def _engine_footer(before: dict[str, int]) -> str | None:
+    """One-line summary of what the jobs engine did for this figure.
+
+    None when the target never touched the engine (table1/fig5 simulate
+    directly) — printing "0 simulated" there would misreport real work.
+    """
+    from repro.jobs import counters, default_store, default_workers
+    done = {k: v - before[k] for k, v in counters().items()}
+    if not any(done.values()):
+        return None
+    store = default_store()
+    where = str(store.root) if store is not None else "disabled"
+    return (f"[jobs] {done['executed']} simulated, "
+            f"{done['cache_hits']} cache hits; "
+            f"workers={default_workers()}, store={where}")
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv or argv[0] not in TARGETS:
@@ -92,10 +109,15 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, desc) in TARGETS.items():
             print(f"  {name:<8} {desc}")
         return 1
+    from repro.jobs import counters
     budget = int(argv[1]) if len(argv) > 1 else 10_000
     fn, desc = TARGETS[argv[0]]
     print(f"== {desc} (budget {budget} instructions/thread) ==")
+    before = counters()
     fn(budget)
+    footer = _engine_footer(before)
+    if footer is not None:
+        print(f"\n{footer}")
     return 0
 
 

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 
 from repro.config import SMTConfig
 from repro.experiments.defaults import default_commits, default_config
-from repro.experiments.runner import WorkloadResult, evaluate_workload
+from repro.experiments.runner import WorkloadResult
 from repro.metrics import summarize_antt, summarize_stp
 
 
@@ -23,15 +23,34 @@ class PolicyCell:
     result: WorkloadResult
 
 
+def cells_from_batch(specs, batch) \
+        -> dict[tuple[tuple[str, ...], str], PolicyCell]:
+    """Index an executed :class:`~repro.jobs.executor.BatchResult` of
+    workload jobs as a (names, policy) -> :class:`PolicyCell` grid."""
+    cells: dict[tuple[tuple[str, ...], str], PolicyCell] = {}
+    for spec in specs:
+        result = batch[spec]
+        cells[(spec.names, spec.policy)] = PolicyCell(
+            spec.names, spec.policy, result.stp, result.antt,
+            result.ipcs, result)
+    return cells
+
+
 def compare_policies(workloads, policies, cfg: SMTConfig | None = None,
                      max_commits: int | None = None,
-                     progress=None) -> dict[tuple[tuple[str, ...], str], PolicyCell]:
-    """Evaluate every (workload × policy) cell.
+                     progress=None, workers: int | None = None,
+                     ) -> dict[tuple[tuple[str, ...], str], PolicyCell]:
+    """Evaluate every (workload × policy) cell through the jobs engine.
 
     ``workloads`` is an iterable of benchmark-name tuples; all must match
     ``cfg.num_threads``.  ``progress`` is an optional callable invoked with
     a status string after each cell (used by the CLI and benches).
+    ``workers`` overrides the ``REPRO_JOBS`` worker count; results are
+    bit-identical regardless.  Cells memoized in the persistent result
+    store are not re-simulated.
     """
+    from repro.jobs.executor import run_jobs   # lazy: layering rule
+    from repro.jobs.spec import JobSpec
     workloads = [tuple(w) for w in workloads]
     if not workloads:
         raise ValueError("need at least one workload")
@@ -39,16 +58,10 @@ def compare_policies(workloads, policies, cfg: SMTConfig | None = None,
         cfg = default_config(num_threads=len(workloads[0]))
     if max_commits is None:
         max_commits = default_commits()
-    cells: dict[tuple[tuple[str, ...], str], PolicyCell] = {}
-    for names in workloads:
-        for policy in policies:
-            result = evaluate_workload(names, cfg, policy, max_commits)
-            cell = PolicyCell(names, policy, result.stp, result.antt,
-                              result.ipcs, result)
-            cells[(names, policy)] = cell
-            if progress is not None:
-                progress(str(result))
-    return cells
+    specs = [JobSpec.workload(names, cfg, policy, max_commits)
+             for names in workloads for policy in policies]
+    batch = run_jobs(specs, workers=workers, progress=progress)
+    return cells_from_batch(specs, batch)
 
 
 def summarize_policies(cells, workloads, policies) \

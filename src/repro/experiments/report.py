@@ -394,7 +394,7 @@ def generate(commits: int | None = None, path: str = "EXPERIMENTS.md",
              f"(wall-clock scale knob; see `repro.experiments.defaults`).*\n"]
     for section in SECTIONS:
         start = time.time()
-        clear_baseline_cache()
+        clear_baseline_cache(disk=False)
         parts.append(section(commits))
         if progress is not None:
             progress(f"  {section.__name__}: {time.time() - start:.1f}s")

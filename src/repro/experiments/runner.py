@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config import SMTConfig
+from repro.config import SMTConfig, single_thread_variant
 from repro.experiments.defaults import default_warmup
 from repro.metrics import antt, stp
 from repro.pipeline import CoreStats, SMTCore
@@ -64,10 +64,7 @@ class SingleThreadResult:
 
 
 def _single_config(cfg: SMTConfig) -> SMTConfig:
-    from dataclasses import replace
-    if cfg.num_threads == 1:
-        return cfg
-    return replace(cfg, num_threads=1)
+    return single_thread_variant(cfg)
 
 
 def core_for(policy: FetchPolicy) -> type[SMTCore]:
@@ -89,35 +86,67 @@ def run_single(name: str, cfg: SMTConfig, max_commits: int,
     stats = core.run(max_commits,
                      warmup=default_warmup() if warmup is None else warmup)
     if record_commits:
-        stats.commit_cycle_trace = core.threads[0].commit_cycles  # type: ignore[attr-defined]
+        stats.commit_cycle_trace = core.threads[0].commit_cycles
     return stats
 
 
-_baseline_cache: dict[tuple, SingleThreadResult] = {}
+def simulate_baseline(name: str, st_cfg: SMTConfig, max_commits: int,
+                      warmup: int) -> SingleThreadResult:
+    """Uncached single-threaded ICOUNT run with per-commit cycle stamps.
+
+    The simulation primitive behind :func:`single_thread_baseline` and the
+    :mod:`repro.jobs` executor; ``st_cfg`` must already be single-threaded.
+    """
+    trace = trace_for(name, st_cfg, slot=0)
+    core = SMTCore(st_cfg, [trace], make_policy("icount"))
+    core.threads[0].commit_cycles = []
+    stats = core.run(max_commits, warmup=warmup)
+    return SingleThreadResult(name, stats, core.threads[0].commit_cycles)
+
+
+_baseline_cache: dict = {}
 
 
 def single_thread_baseline(name: str, cfg: SMTConfig,
                            max_commits: int,
                            warmup: int | None = None) -> SingleThreadResult:
-    """Cached single-threaded ICOUNT run of ``name`` (CPI_ST source)."""
-    st_cfg = _single_config(cfg)
-    if warmup is None:
-        warmup = default_warmup()
-    key = (name, st_cfg, max_commits, warmup)
-    cached = _baseline_cache.get(key)
+    """Cached single-threaded ICOUNT run of ``name`` (CPI_ST source).
+
+    Two cache layers: a process-local dict (hits return the identical
+    object) backed by the persistent :mod:`repro.jobs` result store, so a
+    baseline simulates at most once across processes and runs.
+    """
+    from repro.jobs.spec import JobSpec          # lazy: layering rule
+    from repro.jobs.store import default_store
+    spec = JobSpec.baseline(name, cfg, max_commits, warmup)
+    cached = _baseline_cache.get(spec)
     if cached is not None:
         return cached
-    trace = trace_for(name, st_cfg, slot=0)
-    core = SMTCore(st_cfg, [trace], make_policy("icount"))
-    core.threads[0].commit_cycles = []
-    stats = core.run(max_commits, warmup=warmup)
-    result = SingleThreadResult(name, stats, core.threads[0].commit_cycles)
-    _baseline_cache[key] = result
+    store = default_store()
+    result = store.get(spec) if store is not None else None
+    if result is None:
+        result = simulate_baseline(name, spec.config, max_commits,
+                                   spec.warmup)
+        if store is not None:
+            store.put(spec, result)
+    _baseline_cache[spec] = result
     return result
 
 
-def clear_baseline_cache() -> None:
+def clear_baseline_cache(disk: bool = True) -> None:
+    """Drop the in-process baseline cache and (by default) the disk store.
+
+    Pass ``disk=False`` when you only need the in-process memo dropped
+    (e.g. between config variants in a long run) — results are keyed by
+    full content, so the persistent store never aliases across variants
+    and wiping it there would just force needless re-simulation.
+    """
     _baseline_cache.clear()
+    if disk:
+        from repro.jobs.store import default_store  # lazy: layering rule
+        store = default_store()
+        if store is not None:
+            store.clear()
 
 
 @dataclass
@@ -158,6 +187,27 @@ def run_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
     return stats, core
 
 
+def build_workload_result(names, policy: str, stats: CoreStats,
+                          baselines) -> WorkloadResult:
+    """Score a finished multiprogram run against its ST baselines.
+
+    ``baselines`` is one :class:`SingleThreadResult` per program, in
+    workload order.  Shared by :func:`evaluate_workload` and the
+    :mod:`repro.jobs` executor so both paths produce bit-identical
+    STP/ANTT.
+    """
+    names = tuple(names)
+    committed = tuple(t.committed for t in stats.threads)
+    mt_cpis = tuple(stats.cycles / max(x, 1) for x in committed)
+    st_cpis = tuple(base.cpi_at(max(x, 1))
+                    for base, x in zip(baselines, committed))
+    return WorkloadResult(
+        names=names, policy=policy, stats=stats, committed=committed,
+        st_cpis=st_cpis, mt_cpis=mt_cpis,
+        stp=stp(st_cpis, mt_cpis), antt=antt(st_cpis, mt_cpis),
+        ipcs=tuple(stats.ipc(i) for i in range(len(names))))
+
+
 def evaluate_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
                       policy: str = "icount", max_commits: int = 20_000,
                       warmup: int | None = None,
@@ -166,13 +216,6 @@ def evaluate_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
     names = tuple(names)
     stats, _core = run_workload(names, cfg, policy, max_commits,
                                 warmup=warmup, **policy_kwargs)
-    committed = tuple(t.committed for t in stats.threads)
-    mt_cpis = tuple(stats.cycles / max(x, 1) for x in committed)
-    st_cpis = tuple(
-        single_thread_baseline(name, cfg, max_commits).cpi_at(max(x, 1))
-        for name, x in zip(names, committed))
-    return WorkloadResult(
-        names=names, policy=policy, stats=stats, committed=committed,
-        st_cpis=st_cpis, mt_cpis=mt_cpis,
-        stp=stp(st_cpis, mt_cpis), antt=antt(st_cpis, mt_cpis),
-        ipcs=tuple(stats.ipc(i) for i in range(len(names))))
+    baselines = [single_thread_baseline(name, cfg, max_commits)
+                 for name in names]
+    return build_workload_result(names, policy, stats, baselines)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.config import SMTConfig, with_memory_latency, with_window_size
 from repro.experiments.defaults import default_commits, default_config
 from repro.experiments.policy_comparison import (
-    compare_policies,
+    cells_from_batch,
     summarize_policies,
 )
 
@@ -22,14 +22,28 @@ def _relative_to_icount(summary: dict[str, tuple[float, float]]) \
             for policy, (stp, antt) in summary.items()}
 
 
-def _sweep(points, make_cfg, workloads, policies, max_commits, progress):
+def _sweep(points, make_cfg, workloads, policies, max_commits, progress,
+           workers=None):
+    """Submit the whole (point × workload × policy) grid as one batch.
+
+    Batching across design points keeps every worker busy for the whole
+    sweep (no per-point barrier) and lets the engine simulate each
+    point's single-thread baselines exactly once across all policies.
+    """
+    from repro.jobs.executor import run_jobs   # lazy: layering rule
+    from repro.jobs.spec import JobSpec
     if "icount" not in policies:
         policies = ("icount", *policies)
+    workloads = [tuple(w) for w in workloads]
+    grid = {point: [JobSpec.workload(names, make_cfg(point), policy,
+                                     max_commits)
+                    for names in workloads for policy in policies]
+            for point in points}
+    batch = run_jobs([spec for specs in grid.values() for spec in specs],
+                     workers=workers, progress=progress)
     results = {}
-    for point in points:
-        cfg = make_cfg(point)
-        cells = compare_policies(workloads, policies, cfg, max_commits,
-                                 progress=progress)
+    for point, specs in grid.items():
+        cells = cells_from_batch(specs, batch)
         summary = summarize_policies(cells, workloads, policies)
         results[point] = _relative_to_icount(summary)
     return results
@@ -39,7 +53,7 @@ def memory_latency_sweep(workloads, policies,
                          latencies=(200, 400, 600, 800),
                          cfg: SMTConfig | None = None,
                          max_commits: int | None = None,
-                         progress=None):
+                         progress=None, workers: int | None = None):
     """Figures 15/16: STP and ANTT vs. main-memory latency.
 
     Returns ``{latency: {policy: (stp_rel_icount, antt_rel_icount)}}``.
@@ -47,14 +61,14 @@ def memory_latency_sweep(workloads, policies,
     base = cfg or default_config(num_threads=len(tuple(workloads[0])))
     commits = max_commits or default_commits()
     return _sweep(latencies, lambda lat: with_memory_latency(base, lat),
-                  workloads, tuple(policies), commits, progress)
+                  workloads, tuple(policies), commits, progress, workers)
 
 
 def window_size_sweep(workloads, policies,
                       rob_sizes=(128, 256, 512, 1024),
                       cfg: SMTConfig | None = None,
                       max_commits: int | None = None,
-                      progress=None):
+                      progress=None, workers: int | None = None):
     """Figures 17/18: STP and ANTT vs. window size.
 
     The LSQ, issue queues and rename register files scale proportionally
@@ -64,4 +78,4 @@ def window_size_sweep(workloads, policies,
     base = cfg or default_config(num_threads=len(tuple(workloads[0])))
     commits = max_commits or default_commits()
     return _sweep(rob_sizes, lambda rob: with_window_size(base, rob),
-                  workloads, tuple(policies), commits, progress)
+                  workloads, tuple(policies), commits, progress, workers)

@@ -1,0 +1,70 @@
+"""repro.jobs — parallel experiment execution with a persistent store.
+
+The engine every figure/sweep/benchmark submits through:
+
+* :mod:`repro.jobs.spec` — :class:`JobSpec`, a canonical content-hashed
+  description of one simulation (workload or single-thread baseline).
+* :mod:`repro.jobs.store` — :class:`ResultStore`, JSON-per-entry result
+  memoization under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``),
+  versioned and corrupt-tolerant.
+* :mod:`repro.jobs.executor` — :func:`run_jobs`, a multiprocessing batch
+  runner (``REPRO_JOBS`` workers) that deduplicates shared baselines and
+  streams progress callbacks.  Parallel output is bit-identical to
+  serial output.
+
+Layering rule: modules under :mod:`repro.experiments` may import this
+package *inside functions only* (the executor imports the simulation
+primitives from ``repro.experiments.runner`` at module level, so the
+reverse edge must stay lazy).
+
+Quickstart::
+
+    from repro.experiments import default_config
+    from repro.jobs import JobSpec, run_jobs
+
+    cfg = default_config(num_threads=2)
+    specs = [JobSpec.workload(("mcf", "twolf"), cfg, policy, 10_000)
+             for policy in ("icount", "flush", "mlp_flush")]
+    batch = run_jobs(specs, workers=4)
+    for spec in specs:
+        print(batch[spec])
+    print(batch.report)
+"""
+
+from repro.jobs.spec import (
+    KIND_BASELINE,
+    KIND_WORKLOAD,
+    SCHEMA_VERSION,
+    JobSpec,
+    UncacheableJobError,
+)
+from repro.jobs.store import (
+    ResultStore,
+    cache_enabled,
+    cache_root,
+    default_store,
+)
+from repro.jobs.executor import (
+    BatchReport,
+    BatchResult,
+    counters,
+    default_workers,
+    run_jobs,
+)
+
+__all__ = [
+    "BatchReport",
+    "BatchResult",
+    "JobSpec",
+    "KIND_BASELINE",
+    "KIND_WORKLOAD",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "UncacheableJobError",
+    "cache_enabled",
+    "cache_root",
+    "counters",
+    "default_store",
+    "default_workers",
+    "run_jobs",
+]

@@ -1,0 +1,134 @@
+"""Canonical job descriptions for the experiment-execution engine.
+
+A :class:`JobSpec` captures everything that determines a simulation's
+outcome — benchmark names, fetch policy and its kwargs, the
+:class:`~repro.config.SMTConfig`, the commit budget, and the warmup — and
+hashes it into a stable content key.  Two specs with the same key are the
+same experiment: the key is what the persistent result store
+(:mod:`repro.jobs.store`) and the batch executor
+(:mod:`repro.jobs.executor`) deduplicate on, across processes and runs.
+
+Keys are built from canonical JSON (sorted keys, no whitespace) over the
+spec's field tree plus the store schema version and the ``repro`` package
+version, never from dataclass ``repr`` — so they survive formatting
+changes and are identical in every worker process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro import __version__
+from repro.config import SMTConfig, single_thread_variant
+from repro.experiments.defaults import default_warmup
+
+#: Bumped whenever the on-disk entry layout or the result payload encoding
+#: changes; entries written under another schema are treated as misses.
+SCHEMA_VERSION = 1
+
+KIND_WORKLOAD = "workload"
+KIND_BASELINE = "baseline"
+
+
+class UncacheableJobError(ValueError):
+    """A job's policy kwargs cannot be canonically serialized."""
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-stable tree, or raise.
+
+    Policy kwargs are usually numbers or strings; anything fancier (open
+    files, live predictor objects, ...) has no stable content identity and
+    must not silently alias distinct experiments onto one key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    raise UncacheableJobError(
+        f"policy kwarg of type {type(value).__name__} has no canonical form")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation request with a stable content identity.
+
+    Use the :meth:`workload` / :meth:`baseline` constructors rather than
+    building instances directly — they normalize the config (baselines are
+    always single-threaded ICOUNT runs) and resolve ``warmup=None`` to the
+    environment default, so equal experiments always compare equal.
+    """
+
+    kind: str                       # KIND_WORKLOAD | KIND_BASELINE
+    names: tuple[str, ...]
+    config: SMTConfig
+    max_commits: int
+    warmup: int
+    policy: str = "icount"
+    policy_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def workload(cls, names, config: SMTConfig, policy: str = "icount",
+                 max_commits: int = 20_000, warmup: int | None = None,
+                 **policy_kwargs) -> "JobSpec":
+        """A multiprogram run evaluated with STP/ANTT."""
+        names = tuple(names)
+        if len(names) != config.num_threads:
+            raise ValueError(
+                f"workload {names} needs a {len(names)}-thread config, "
+                f"got num_threads={config.num_threads}")
+        return cls(kind=KIND_WORKLOAD, names=names, config=config,
+                   max_commits=max_commits,
+                   warmup=default_warmup() if warmup is None else warmup,
+                   policy=policy,
+                   policy_kwargs=tuple(sorted(policy_kwargs.items())))
+
+    @classmethod
+    def baseline(cls, name: str, config: SMTConfig, max_commits: int,
+                 warmup: int | None = None) -> "JobSpec":
+        """The single-threaded ICOUNT run that supplies CPI_ST for ``name``."""
+        return cls(kind=KIND_BASELINE, names=(name,),
+                   config=single_thread_variant(config),
+                   max_commits=max_commits,
+                   warmup=default_warmup() if warmup is None else warmup,
+                   policy="icount")
+
+    def baseline_specs(self) -> tuple["JobSpec", ...]:
+        """The per-program baseline jobs this workload job depends on.
+
+        One spec per program *in workload order* (duplicates included, so
+        the caller can zip them against per-thread commit counts).
+        Baselines always use the environment-default warmup, matching
+        :func:`repro.experiments.runner.single_thread_baseline`.
+        """
+        if self.kind != KIND_WORKLOAD:
+            return ()
+        return tuple(
+            JobSpec.baseline(name, self.config, self.max_commits)
+            for name in self.names)
+
+    def cache_key(self) -> str:
+        """Stable hex content key (raises for unserializable kwargs)."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "repro": __version__,
+            "kind": self.kind,
+            "names": list(self.names),
+            "config": self.config.cache_key(),
+            "max_commits": self.max_commits,
+            "warmup": self.warmup,
+            "policy": self.policy,
+            "policy_kwargs": [[k, _canonical(v)]
+                              for k, v in self.policy_kwargs],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+    def __str__(self) -> str:
+        mix = "-".join(self.names)
+        return f"{self.kind}:{mix}:{self.policy}@{self.max_commits}"

@@ -53,6 +53,9 @@ class CoreStats:
     threads: list[ThreadStats] = field(default_factory=list)
     resource_stall_cycles: int = 0
     ll_intervals: list[tuple[int, int]] = field(default_factory=list)
+    # Per-commit cycle stamps of thread 0, filled in when a single-thread
+    # run is asked to record them (``run_single(record_commits=True)``).
+    commit_cycle_trace: list[int] | None = None
 
     def ipc(self, tid: int) -> float:
         if not self.cycles:

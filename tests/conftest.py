@@ -2,10 +2,37 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import scaled_config
 from repro.isa import Instr, Op
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Pin the repro.jobs engine environment for the whole session.
+
+    Keeps the suite hermetic in both directions: tests never touch the
+    user's ``~/.cache/repro``, and ambient ``REPRO_CACHE=0`` /
+    ``REPRO_JOBS`` settings can't flip the behaviors the tests assert.
+    """
+    pinned = {"REPRO_CACHE_DIR": str(tmp_path_factory.mktemp("repro-cache")),
+              "REPRO_CACHE": "1",
+              "REPRO_JOBS": None}
+    saved = {name: os.environ.get(name) for name in pinned}
+    for name, value in pinned.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+    yield
+    for name, value in saved.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
 
 
 class StubTrace:

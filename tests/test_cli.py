@@ -64,3 +64,39 @@ class TestCommands:
                      "-p", "mlp_flush", "-c", "1500"]) == 0
         out = capsys.readouterr().out
         assert "relative to ICOUNT" in out
+
+
+class TestJobsCommands:
+    def test_jobs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["jobs"])
+
+    def test_jobs_run_reports_batch(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["jobs", "run", "-w", "mcf,twolf", "-p",
+                     "icount,flush", "-c", "1500", "-j", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "STP=" in out
+        assert "2 unique" in out
+        assert "2 worker(s)" in out
+
+    def test_jobs_run_then_status_then_clear(self, capsys, monkeypatch,
+                                             tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["jobs", "run", "-w", "mcf,twolf", "-p", "icount",
+                     "-c", "1500"]) == 0
+        capsys.readouterr()
+        assert main(["jobs", "status"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "entries:      3" in out    # 1 workload + 2 baselines
+        assert main(["jobs", "cache-clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert main(["jobs", "status"]) == 0
+        assert "entries:      0" in capsys.readouterr().out
+
+    def test_jobs_status_with_cache_disabled(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert main(["jobs", "status"]) == 0
+        assert "disabled" in capsys.readouterr().out

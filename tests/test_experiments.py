@@ -70,6 +70,14 @@ class TestRunSingle:
         # Warmed measurement should never be slower than the cold one.
         assert warm.ipc(0) >= cold.ipc(0) * 0.95
 
+    def test_commit_cycle_trace_is_a_real_field(self):
+        plain = run_single("gap", CFG, 1500, warmup=0)
+        assert plain.commit_cycle_trace is None
+        traced = run_single("gap", CFG, 1500, warmup=0,
+                            record_commits=True)
+        assert traced.commit_cycle_trace is not None
+        assert len(traced.commit_cycle_trace) >= 1500
+
 
 class TestEvaluateWorkload:
     def test_result_shape(self):
