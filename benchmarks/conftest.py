@@ -3,5 +3,23 @@
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make bench_common importable when pytest sets rootdir elsewhere.
 sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.testing import resolved_result_store  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _pinned_result_store():
+    """Pin the resolved ``REPRO_CACHE_DIR`` for the whole bench session.
+
+    Benchmarks intentionally keep a warm persistent result store across
+    runs (ambient ``REPRO_CACHE_DIR``, or ``~/.cache/repro``), but the
+    resolved location is pinned up front — via the same
+    :mod:`repro.testing` helper the test suite uses — so every worker
+    subprocess of a ``REPRO_JOBS`` batch sees one consistent store.
+    """
+    with resolved_result_store():
+        yield

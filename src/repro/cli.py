@@ -12,6 +12,9 @@ Subcommands:
 * ``jobs``          — the parallel experiment engine: ``jobs run`` submits
   a workload×policy batch across ``REPRO_JOBS`` workers, ``jobs status``
   inspects the persistent result store, ``jobs cache-clear`` empties it
+* ``perf``          — simulator-throughput benchmarks: ``perf run`` times
+  the canonical scenarios, ``perf compare`` gates against the committed
+  ``BENCH_perf.json`` baseline, ``perf update`` refreshes it
 
 Every command accepts ``--commits`` to trade accuracy for runtime; the
 defaults match the benchmark harness (see ``repro.experiments.defaults``).
@@ -194,6 +197,108 @@ def cmd_jobs_cache_clear(_args) -> int:
     return 0
 
 
+def _perf_suite(args):
+    import json as _json
+
+    from repro import perf
+
+    suite = perf.run_suite(repeats=args.repeat, quick=args.quick,
+                           progress=None if args.json else print)
+    return perf, suite, _json
+
+
+def _perf_table(suite) -> str:
+    rows = [(r.name, f"{r.threads}t", r.policy, str(r.commits),
+             f"{r.wall_s:.3f}s", f"{r.cycles_per_sec / 1e3:.1f}",
+             f"{r.kips:.1f}")
+            for r in suite.results]
+    return format_table(("scenario", "hw", "policy", "commits", "wall",
+                         "kcyc/s", "kinstr/s"), rows)
+
+
+def cmd_perf_run(args) -> int:
+    perf, suite, _json = _perf_suite(args)
+    doc = perf.suite_to_doc(suite)
+    if args.output:
+        perf.write_baseline(suite, args.output)
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(_perf_table(suite))
+        print(f"\ncalibration: {suite.calibration_s:.3f}s "
+              f"({'quick' if suite.quick else 'full'} mode)")
+    return 0
+
+
+def cmd_perf_compare(args) -> int:
+    perf, suite, _json = _perf_suite(args)
+    try:
+        baseline = perf.load_baseline(perf.baseline_path(args.baseline))
+    except perf.BaselineError as exc:
+        raise SystemExit(f"perf compare: {exc}")
+    max_regression = (perf.DEFAULT_MAX_REGRESSION
+                      if args.max_regression is None
+                      else args.max_regression)
+    report = perf.compare(suite, baseline, max_regression=max_regression)
+    if args.json:
+        doc = perf.suite_to_doc(suite)
+        doc["compare"] = {
+            "mode": report.mode,
+            "max_regression": report.max_regression,
+            "calibration_ratio": round(report.calibration_ratio, 3),
+            "geomean_speedup": round(report.geomean_speedup, 3),
+            "ok": report.ok,
+            "missing": report.missing,
+            "scenarios": {
+                d.name: {"speedup": round(d.speedup, 3),
+                         "current_wall_s": round(d.current_wall_s, 6),
+                         "baseline_wall_s": round(d.baseline_wall_s, 6),
+                         "regressed": d.regressed,
+                         "work_drift": d.work_drift}
+                for d in report.deltas},
+        }
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        rows = [(d.name, f"{d.baseline_wall_s:.3f}s",
+                 f"{d.current_wall_s:.3f}s", f"{d.speedup:.2f}x",
+                 ("REGRESSED" if d.regressed else "ok")
+                 + (" (work drift!)" if d.work_drift else ""))
+                for d in report.deltas]
+        print(format_table(("scenario", "baseline", "current", "speedup",
+                            "status"), rows))
+        if report.missing:
+            print(f"\nnot in baseline: {', '.join(report.missing)}")
+        print(f"\ngeomean speedup vs baseline: "
+              f"{report.geomean_speedup:.2f}x "
+              f"(machine calibration ratio {report.calibration_ratio:.2f}, "
+              f"gate: >{report.max_regression:.0%} slowdown fails)")
+    if not report.ok:
+        import sys
+
+        names = ", ".join(d.name for d in report.regressions)
+        # In --json mode stdout is the machine-readable document (CI
+        # uploads it as an artifact); the failure note goes to stderr so
+        # the document stays parseable.
+        print(f"\nperf compare: FAIL — regressed: {names}",
+              file=sys.stderr if args.json else sys.stdout)
+        return 1
+    return 0
+
+
+def cmd_perf_update(args) -> int:
+    perf, suite, _json = _perf_suite(args)
+    path = perf.write_baseline(suite, args.baseline)
+    if args.json:
+        doc = perf.load_baseline(path)  # the merged document as written
+        doc["written_to"] = str(path)
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(_perf_table(suite))
+        print(f"\nwrote {'quick' if suite.quick else 'full'} "
+              f"baseline: {path}")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # argument parsing
 # --------------------------------------------------------------------- #
@@ -255,6 +360,35 @@ def build_parser() -> argparse.ArgumentParser:
     j.set_defaults(fn=cmd_jobs_status)
     j = jsub.add_parser("cache-clear", help="empty the result store")
     j.set_defaults(fn=cmd_jobs_cache_clear)
+
+    p = sub.add_parser("perf", help="simulator-throughput benchmarks")
+    psub = p.add_subparsers(dest="perf_command", required=True)
+
+    def _perf_common(q):
+        q.add_argument("--quick", action="store_true",
+                       help="reduced budgets (CI smoke mode)")
+        q.add_argument("--json", action="store_true",
+                       help="emit the schema-stamped JSON document")
+        q.add_argument("-r", "--repeat", type=int, default=3,
+                       help="timed repeats per scenario (min is reported)")
+
+    q = psub.add_parser("run", help="time the canonical scenarios")
+    _perf_common(q)
+    q.add_argument("-o", "--output", help="also write the results here")
+    q.set_defaults(fn=cmd_perf_run)
+    q = psub.add_parser("compare",
+                        help="gate a fresh run against the baseline")
+    _perf_common(q)
+    q.add_argument("--baseline", help="baseline file "
+                   "(default: BENCH_perf.json at the repo root)")
+    q.add_argument("--max-regression", type=float, default=None,
+                   help="fail above this normalized slowdown "
+                   "(default 0.25 = 25%%)")
+    q.set_defaults(fn=cmd_perf_compare)
+    q = psub.add_parser("update", help="refresh the committed baseline")
+    _perf_common(q)
+    q.add_argument("--baseline", help="write here instead of the repo root")
+    q.set_defaults(fn=cmd_perf_update)
     return parser
 
 

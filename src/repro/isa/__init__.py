@@ -4,7 +4,9 @@ from repro.isa.instruction import (
     FP_REG_BASE,
     NUM_ARCH_REGS,
     EXEC_LATENCY,
+    EXEC_LATENCY_BY_OP,
     FU_CLASS,
+    FU_CLASS_BY_OP,
     FuClass,
     Instr,
     Op,
@@ -15,7 +17,9 @@ __all__ = [
     "FP_REG_BASE",
     "NUM_ARCH_REGS",
     "EXEC_LATENCY",
+    "EXEC_LATENCY_BY_OP",
     "FU_CLASS",
+    "FU_CLASS_BY_OP",
     "FuClass",
     "Instr",
     "Op",

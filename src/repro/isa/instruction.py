@@ -59,6 +59,13 @@ FU_CLASS = {
     Op.FMUL: FuClass.FP,
 }
 
+#: Hot-path variants of the tables above: dense tuples indexed by the op's
+#: integer value.  A tuple index is a single C-level operation, while the
+#: dict form hashes the enum on every lookup — measurable in the
+#: per-instruction issue/dispatch loops (see perf/PROFILE.md).
+EXEC_LATENCY_BY_OP = tuple(EXEC_LATENCY[Op(i)] for i in range(len(Op)))
+FU_CLASS_BY_OP = tuple(FU_CLASS[Op(i)] for i in range(len(Op)))
+
 
 def is_fp_reg(reg: int) -> bool:
     return reg >= FP_REG_BASE

@@ -36,7 +36,7 @@ from repro.jobs.spec import (
     JobSpec,
     UncacheableJobError,
 )
-from repro.jobs.store import ResultStore, default_store
+from repro.jobs.store import default_store
 
 _UNSET = object()
 

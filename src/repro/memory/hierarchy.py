@@ -81,6 +81,15 @@ class MemoryHierarchy:
 
     def __init__(self, cfg: MemoryConfig):
         self.cfg = cfg
+        # Latency/capacity scalars hoisted off the frozen config: the data
+        # path reads several per access.
+        self._l1_latency = cfg.l1_latency
+        self._l2_latency = cfg.l2_latency
+        self._l3_latency = cfg.l3_latency
+        self._mem_latency = cfg.mem_latency
+        self._tlb_miss_penalty = cfg.tlb_miss_penalty
+        self._mshr_entries = cfg.mshr_entries
+        self._serialize_ll = cfg.serialize_long_latency
         self.l1i = Cache(cfg.l1i, "L1I")
         self.l1d = Cache(cfg.l1d, "L1D")
         self.l2 = Cache(cfg.l2, "L2")
@@ -126,13 +135,13 @@ class MemoryHierarchy:
 
     def _data_access(self, pc: int, addr: int, cycle: int, tlb_miss: bool,
                      demand: bool) -> AccessResult:
-        cfg = self.cfg
-        start = cycle + (cfg.tlb_miss_penalty if tlb_miss else 0)
+        cfg = self  # hoisted scalars (_l1_latency etc.)
+        start = cycle + (cfg._tlb_miss_penalty if tlb_miss else 0)
         line = self.l1d.line_of(addr)
         # Long-latency-aware policies trigger when the L2 miss is
         # determined (Tullsen & Brown's "trigger on miss"), a few cycles
         # after the L2 lookup — well before the data returns.
-        detect = cycle + cfg.l2_latency + 3
+        detect = cycle + cfg._l2_latency + 3
 
         pending = self._pending.get(line)
         if pending is not None:
@@ -144,21 +153,21 @@ class MemoryHierarchy:
                 # far away: the pipeline sees a load stuck for hundreds of
                 # cycles either way.
                 self.merged_loads += 1
-                done = max(ready, start + cfg.l1_latency)
+                done = max(ready, start + cfg._l1_latency)
                 if tlb_miss:
-                    if cfg.serialize_long_latency:
+                    if cfg._serialize_ll:
                         done = max(done, self._last_ll_end)
                     self._last_ll_end = max(self._last_ll_end, done)
-                trigger = tlb_miss or (done - detect) >= cfg.l3_latency
+                trigger = tlb_miss or (done - detect) >= cfg._l3_latency
                 return AccessResult(done, detect, ServiceLevel.MERGE,
                                     tlb_miss, tlb_miss, trigger)
             del self._pending[line]
 
         if self.l1d.lookup(addr):
-            done = start + cfg.l1_latency
+            done = start + cfg._l1_latency
             if tlb_miss:
-                if cfg.serialize_long_latency:
-                    done = max(done, self._last_ll_end) + cfg.l1_latency
+                if cfg._serialize_ll:
+                    done = max(done, self._last_ll_end) + cfg._l1_latency
                 self._last_ll_end = max(self._last_ll_end, done)
             return AccessResult(done, detect, ServiceLevel.L1, tlb_miss,
                                 tlb_miss)
@@ -167,15 +176,15 @@ class MemoryHierarchy:
             ready = self.prefetcher.demand_miss(pc, addr, start)
             if ready is not None:
                 remaining = max(ready - start, 0)
-                done = start + cfg.l1_latency + remaining
+                done = start + cfg._l1_latency + remaining
                 self.l1d.install(addr)
                 # A prefetch that is still (mostly) in flight did not hide
                 # the memory latency: the load behaves as long-latency.
-                is_ll = tlb_miss or remaining >= cfg.l3_latency
-                if remaining < cfg.l3_latency:
+                is_ll = tlb_miss or remaining >= cfg._l3_latency
+                if remaining < cfg._l3_latency:
                     self.prefetch_covered += 1
                 if is_ll:
-                    if cfg.serialize_long_latency:
+                    if cfg._serialize_ll:
                         done = max(done, self._last_ll_end)
                     self._last_ll_end = max(self._last_ll_end, done)
                 return AccessResult(done, detect, ServiceLevel.STREAM,
@@ -184,9 +193,9 @@ class MemoryHierarchy:
         if self.l2.lookup(addr):
             self.l1d.install(addr)
             self.l3.touch(addr)  # keep recency; L2-hot lines stay L3-resident
-            done = start + cfg.l2_latency
+            done = start + cfg._l2_latency
             if tlb_miss:
-                if cfg.serialize_long_latency:
+                if cfg._serialize_ll:
                     done = max(done, self._last_ll_end)
                 self._last_ll_end = max(self._last_ll_end, done)
             return AccessResult(done, detect, ServiceLevel.L2, tlb_miss,
@@ -195,9 +204,9 @@ class MemoryHierarchy:
         if self.l3.lookup(addr):
             self.l1d.install(addr)
             self.l2.install(addr)
-            done = start + cfg.l3_latency
+            done = start + cfg._l3_latency
             if tlb_miss:
-                if cfg.serialize_long_latency:
+                if cfg._serialize_ll:
                     done = max(done, self._last_ll_end)
                 self._last_ll_end = max(self._last_ll_end, done)
             return AccessResult(done, detect, ServiceLevel.L3, tlb_miss,
@@ -207,9 +216,9 @@ class MemoryHierarchy:
         fill_start = start
         if demand:
             fill_start = self._mshr_admit(fill_start)
-            if cfg.serialize_long_latency:
+            if cfg._serialize_ll:
                 fill_start = max(fill_start, self._last_ll_end)
-        done = fill_start + cfg.mem_latency
+        done = fill_start + cfg._mem_latency
         if demand:
             heapq.heappush(self._fill_ends, done)
             self._last_ll_end = max(self._last_ll_end, done)
@@ -242,7 +251,7 @@ class MemoryHierarchy:
         ends = self._fill_ends
         while ends and ends[0] <= start:
             heapq.heappop(ends)
-        if len(ends) >= self.cfg.mshr_entries:
+        if len(ends) >= self._mshr_entries:
             start = max(start, heapq.heappop(ends))
         return start
 
@@ -252,8 +261,8 @@ class MemoryHierarchy:
 
     def ifetch(self, thread: int, addr: int, cycle: int) -> int:
         """Instruction-cache access; returns the completion cycle."""
-        cfg = self.cfg
-        start = cycle + (0 if self.itlb.lookup(addr) else cfg.tlb_miss_penalty)
+        cfg = self  # hoisted scalars
+        start = cycle + (0 if self.itlb.lookup(addr) else cfg._tlb_miss_penalty)
         line = self.l1i.line_of(addr)
         pending = self._pending.get(line)
         if pending is not None and pending[0] > start:
@@ -262,12 +271,12 @@ class MemoryHierarchy:
             return start  # overlapped with the fetch stage itself
         if self.l2.lookup(addr):
             self.l1i.install(addr)
-            return start + cfg.l2_latency
+            return start + cfg._l2_latency
         if self.l3.lookup(addr):
             self.l1i.install(addr)
             self.l2.install(addr)
-            return start + cfg.l3_latency
-        done = start + cfg.mem_latency
+            return start + cfg._l3_latency
+        done = start + cfg._mem_latency
         self.l1i.install(addr)
         self.l2.install(addr)
         self.l3.install(addr)

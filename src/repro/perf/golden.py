@@ -1,0 +1,113 @@
+"""Golden architectural stats: the cycle-exactness contract.
+
+Hot-loop optimizations in :mod:`repro.pipeline.core` are only admissible
+if they are *cycle-exact* — same committed-cycle counts, same IPC, same
+flush and stall counters, for every policy class.  This module defines a
+fixed-seed scenario matrix ({1,2,4} threads x {icount, stall, flush,
+mlp_stall}) and serializes each cell's :class:`repro.pipeline.stats.
+CoreStats` to a stable dict.  ``tests/test_golden_stats.py`` compares a
+fresh simulation of every cell against the committed fixture
+``tests/golden/golden_stats.json``, which was generated *before* the
+optimizations landed.
+
+Regenerate (only when an intentional behavior change invalidates it):
+
+    python -m repro.perf.golden tests/golden/golden_stats.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.perf.scenarios import Scenario, run_scenario
+
+GOLDEN_SCHEMA = "repro.golden/1"
+
+#: Policies spanning the distinct engine paths: plain rotation, fetch
+#: gating, flush/refetch, and predictor-driven MLP-aware gating.
+GOLDEN_POLICIES = ("icount", "stall", "flush", "mlp_stall")
+
+#: Runahead rides on :class:`repro.runahead.RunaheadCore`, which keeps
+#: its own generic commit/dispatch loops (and the self-contained
+#: ``_try_dispatch``) while the base core inlines them — these cells pin
+#: that second code path so the two can never silently diverge.
+GOLDEN_RUNAHEAD_POLICIES = ("runahead", "mlp_runahead")
+
+_WORKLOADS = {
+    1: ("mcf",),
+    2: ("mcf", "swim"),
+    4: ("mgrid", "vortex", "swim", "twolf"),
+}
+
+
+def golden_matrix() -> tuple[Scenario, ...]:
+    """The fixed-seed equivalence matrix (budgets sized for test speed)."""
+    base = tuple(
+        Scenario(f"golden_{n}t_{policy}", workload, policy,
+                 commits=1_500, warmup=400, quick_commits=1_500)
+        for n, workload in sorted(_WORKLOADS.items())
+        for policy in GOLDEN_POLICIES)
+    runahead = tuple(
+        Scenario(f"golden_2t_{policy}", _WORKLOADS[2], policy,
+                 commits=1_500, warmup=400, quick_commits=1_500)
+        for policy in GOLDEN_RUNAHEAD_POLICIES)
+    return base + runahead
+
+
+def snapshot_cell(sc: Scenario) -> dict:
+    """Simulate one cell and capture every architecturally-visible count."""
+    stats, core = run_scenario(sc)
+    return {
+        "workload": list(sc.workload),
+        "policy": sc.policy,
+        "commits": sc.commits,
+        "warmup": sc.warmup,
+        "cycles": stats.cycles,
+        "total_cycles": core.cycle,
+        "resource_stall_cycles": stats.resource_stall_cycles,
+        "total_ipc": round(stats.total_ipc, 9),
+        "mlp": round(stats.mlp, 9),
+        "ll_interval_count": len(stats.ll_intervals),
+        "threads": [
+            {
+                "committed": t.committed,
+                "fetched": t.fetched,
+                "squashed": t.squashed,
+                "flushes": t.flushes,
+                "loads_executed": t.loads_executed,
+                "ll_loads": t.ll_loads,
+                "policy_stall_cycles": t.policy_stall_cycles,
+                "branch_stall_cycles": t.branch_stall_cycles,
+                "runahead_entries": t.runahead_entries,
+                "runahead_exits": t.runahead_exits,
+                "runahead_pseudo_retired": t.runahead_pseudo_retired,
+                "ipc": round(stats.ipc(i), 9),
+            }
+            for i, t in enumerate(stats.threads)
+        ],
+    }
+
+
+def collect_golden() -> dict:
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "cells": {sc.name: snapshot_cell(sc) for sc in golden_matrix()},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out = Path(argv[0]) if argv else (
+        Path(__file__).resolve().parents[3] / "tests" / "golden"
+        / "golden_stats.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    doc = collect_golden()
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(doc['cells'])} golden cells to {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration entry
+    raise SystemExit(main())

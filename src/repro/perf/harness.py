@@ -1,0 +1,115 @@
+"""Warmup / repeat / min-of-N wall-clock timing of the canonical scenarios.
+
+Methodology: each scenario gets one untimed priming run (OS page cache,
+allocator arenas, imported-module warmup), then ``repeats`` timed runs;
+the *minimum* wall time is the reported number — the run least disturbed
+by scheduler noise — while the per-run times are kept for dispersion
+checks.  Simulated cycles and committed instructions are recorded with
+every measurement so throughput (simulated cycles per second) is
+well-defined and drift in the *simulated* outcome is detectable when two
+measurements are compared.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.perf.scenarios import CANONICAL_SCENARIOS, Scenario, run_scenario
+
+#: Iterations of the calibration spin (see :func:`calibrate`).
+_CALIBRATION_ITERS = 400_000
+
+
+@dataclass
+class BenchResult:
+    """Timing of one scenario on this machine, this code version."""
+
+    name: str
+    wall_s: float                     # min over the timed repeats
+    runs: list[float]                 # every timed repeat, in order
+    cycles: int                       # simulated cycles (incl. warmup)
+    instructions: int                 # committed instructions (measured)
+    quick: bool
+    policy: str = ""
+    threads: int = 0
+    commits: int = 0
+
+    @property
+    def cycles_per_sec(self) -> float:
+        return self.cycles / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def kips(self) -> float:
+        """Committed kilo-instructions per wall second."""
+        return self.instructions / self.wall_s / 1e3 if self.wall_s else 0.0
+
+
+def calibrate(iters: int = _CALIBRATION_ITERS) -> float:
+    """Time a fixed pure-Python spin; a machine-speed yardstick.
+
+    Stored alongside every baseline so that comparisons across hosts
+    (laptop vs CI runner) can normalize out raw machine speed instead of
+    failing on it.  Min of 3, same as the scenarios.
+    """
+    def spin() -> int:
+        acc = 0
+        d = {0: 0, 1: 1}
+        for i in range(iters):
+            acc += d[i & 1] + (i >> 3)
+        return acc
+
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        spin()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def time_scenario(sc: Scenario, repeats: int = 3,
+                  quick: bool = False) -> BenchResult:
+    """Prime once, then time ``repeats`` full simulations of ``sc``."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    stats, core = run_scenario(sc, quick=quick)  # priming run (untimed)
+    cycles = core.cycle
+    instructions = sum(t.committed for t in stats.threads)
+    runs: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_scenario(sc, quick=quick)
+        runs.append(time.perf_counter() - t0)
+    return BenchResult(
+        name=sc.name, wall_s=min(runs), runs=runs, cycles=cycles,
+        instructions=instructions, quick=quick, policy=sc.policy,
+        threads=sc.num_threads, commits=sc.budget(quick))
+
+
+@dataclass
+class SuiteResult:
+    """One full harness pass: every scenario plus the machine yardstick."""
+
+    results: list[BenchResult] = field(default_factory=list)
+    calibration_s: float = 0.0
+    quick: bool = False
+
+    def by_name(self) -> dict[str, BenchResult]:
+        return {r.name: r for r in self.results}
+
+
+def run_suite(scenarios: tuple[Scenario, ...] = CANONICAL_SCENARIOS,
+              repeats: int = 3, quick: bool = False,
+              progress=None) -> SuiteResult:
+    """Time every scenario (min-of-``repeats``) plus the calibration spin."""
+    suite = SuiteResult(quick=quick, calibration_s=calibrate())
+    for sc in scenarios:
+        if progress is not None:
+            progress(f"[perf] {sc.name}: {sc.num_threads}t {sc.policy} "
+                     f"x{sc.budget(quick)} commits ...")
+        result = time_scenario(sc, repeats=repeats, quick=quick)
+        suite.results.append(result)
+        if progress is not None:
+            progress(f"[perf]   {result.wall_s:.3f}s  "
+                     f"{result.cycles_per_sec / 1e3:.1f} kcyc/s")
+    return suite

@@ -1,0 +1,101 @@
+"""Canonical simulator-throughput scenarios.
+
+A scenario pins everything that affects simulated work — workload mix,
+fetch policy, instruction budget, warmup, machine config — so that wall
+time is the only free variable.  The same scenario set backs three
+consumers:
+
+* the :mod:`repro.perf.harness` timing runs (``repro perf run``),
+* the committed ``BENCH_perf.json`` throughput baseline, and
+* the golden-stats equivalence matrix (``tests/test_golden_stats.py``),
+  which pins the *architectural* outcome of each scenario so hot-loop
+  optimizations can prove they are cycle-exact.
+
+Scenario configs are built directly from :func:`repro.config.scaled_config`
+rather than the env-sensitive experiment defaults: ``REPRO_COMMITS`` /
+``REPRO_SCALE`` must not silently change what a perf number means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SMTConfig, scaled_config
+
+#: Cache scale matching the experiment defaults (16x smaller than Table IV).
+_CACHE_SCALE = 16
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deterministic simulation whose wall time we track."""
+
+    name: str
+    workload: tuple[str, ...]
+    policy: str
+    commits: int          # per-thread instruction budget (full mode)
+    warmup: int           # instructions discarded before measurement
+    quick_commits: int    # reduced budget for --quick / CI smoke runs
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.workload)
+
+    def budget(self, quick: bool = False) -> int:
+        return self.quick_commits if quick else self.commits
+
+    def config(self) -> SMTConfig:
+        return scaled_config(num_threads=self.num_threads,
+                             scale=_CACHE_SCALE)
+
+
+#: The tracked suite.  ``smt2_mlp_stall`` is the canonical 2-thread
+#: scenario quoted in speedup claims; the single-thread and 4-thread
+#: entries bracket it, and the policy spread (ICOUNT / stall / flush /
+#: MLP-aware stall) exercises the distinct hot paths: plain fetch
+#: rotation, policy fetch-gating, flush/refetch, and predictor-driven
+#: gating.
+CANONICAL_SCENARIOS: tuple[Scenario, ...] = (
+    Scenario("st_icount", ("mcf",), "icount",
+             commits=16_000, warmup=2_000, quick_commits=4_000),
+    Scenario("smt2_icount", ("mcf", "swim"), "icount",
+             commits=12_000, warmup=2_000, quick_commits=3_000),
+    Scenario("smt2_stall", ("mcf", "swim"), "stall",
+             commits=12_000, warmup=2_000, quick_commits=3_000),
+    Scenario("smt2_flush", ("mcf", "swim"), "flush",
+             commits=12_000, warmup=2_000, quick_commits=3_000),
+    Scenario("smt2_mlp_stall", ("mcf", "swim"), "mlp_stall",
+             commits=12_000, warmup=2_000, quick_commits=3_000),
+    Scenario("smt4_mlp_stall", ("mgrid", "vortex", "swim", "twolf"),
+             "mlp_stall",
+             commits=8_000, warmup=2_000, quick_commits=2_000),
+)
+
+#: The headline scenario for speedup claims.
+CANONICAL_2T = "smt2_mlp_stall"
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for sc in CANONICAL_SCENARIOS:
+        if sc.name == name:
+            return sc
+    known = ", ".join(s.name for s in CANONICAL_SCENARIOS)
+    raise KeyError(f"unknown perf scenario {name!r} (known: {known})")
+
+
+def run_scenario(sc: Scenario, quick: bool = False):
+    """Simulate one scenario; returns ``(stats, core)``.
+
+    Deterministic: traces are seeded per benchmark name, the config is
+    env-independent, and the core is the one the policy requires.
+    """
+    from repro.experiments.runner import core_for, trace_for
+    from repro.policies import make_policy
+
+    cfg = sc.config()
+    traces = [trace_for(name, cfg, slot=i)
+              for i, name in enumerate(sc.workload)]
+    policy = make_policy(sc.policy)
+    core = core_for(policy)(cfg, traces, policy)
+    stats = core.run(sc.budget(quick), warmup=sc.warmup)
+    return stats, core

@@ -21,16 +21,27 @@ The engine optionally *fast-forwards* over cycles in which provably nothing
 can happen (no fetch-eligible thread, empty ready queues, no dispatchable or
 committable instruction) by jumping to the next scheduled event; tests
 verify cycle-exact equivalence with the naive loop.
+
+Implementation notes (perf): this file is the simulator's hot loop — every
+experiment bottoms out in :meth:`SMTCore.step`.  The stage methods hoist
+attribute lookups and bound methods into locals, per-op tuples replace the
+enum-keyed ISA dicts, config limits are snapshotted onto the core at
+construction (``SMTConfig`` is frozen, so they cannot drift), branch-stall
+cycles are accounted event-wise instead of by a per-cycle all-threads scan,
+and the fast-forward probe asks the policy a boolean ``fetch_pending``
+question instead of materializing a sorted fetch order twice per cycle.
+The golden-stats matrix (``tests/test_golden_stats.py``) pins this
+machinery to the pre-optimization core cycle-for-cycle.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING
 
 from repro.branch import BTB, GShare
 from repro.config import SMTConfig
-from repro.isa import EXEC_LATENCY, FU_CLASS, FuClass, Op
+from repro.isa import EXEC_LATENCY_BY_OP, FU_CLASS_BY_OP, FuClass, Op
 from repro.memory.hierarchy import MemoryHierarchy, ServiceLevel
 from repro.pipeline.dyninstr import DynInstr
 from repro.pipeline.stats import CoreStats
@@ -60,8 +71,8 @@ class SMTCore:
                 f"expected {cfg.num_threads} traces, got {len(traces)}")
         self.cfg = cfg
         self.hierarchy = hierarchy or MemoryHierarchy(cfg.memory)
-        self.threads = [ThreadState(tid, trace, cfg)
-                        for tid, trace in enumerate(traces)]
+        self.threads = tuple(ThreadState(tid, trace, cfg)
+                             for tid, trace in enumerate(traces))
         self.policy = policy
         self.gshare = GShare(cfg.gshare_entries, cfg.num_threads)
         self.btb = BTB(cfg.btb_entries, cfg.btb_assoc)
@@ -71,6 +82,19 @@ class SMTCore:
         self._detects: list[tuple[int, int, DynInstr]] = []  # LL detections
         self._ready: dict[FuClass, list[tuple[int, DynInstr]]] = {
             FuClass.INT_ALU: [], FuClass.LDST: [], FuClass.FP: []}
+        #: The same ready queues, addressable by ``int(op)`` with a single
+        #: tuple index (hot path) instead of two enum-keyed dict lookups.
+        self._ready_by_op: tuple[list, ...] = tuple(
+            self._ready[FU_CLASS_BY_OP[i]] for i in range(len(FU_CLASS_BY_OP)))
+        # The three FU-pool ready queues and their slot counts as direct
+        # attributes: the issue stage and the fast-forward probe touch
+        # them every cycle.
+        self._ready_int = self._ready[FuClass.INT_ALU]
+        self._ready_ldst = self._ready[FuClass.LDST]
+        self._ready_fp = self._ready[FuClass.FP]
+        self._num_int_alu = cfg.num_int_alu
+        self._num_ldst = cfg.num_ldst
+        self._num_fp = cfg.num_fp
         self._wb: list[int] = []                             # drain cycles
         self.rob_used = 0
         self.lsq_used = 0
@@ -86,7 +110,33 @@ class SMTCore:
         self._line_shift = cfg.memory.line_size.bit_length() - 1
         self._measure_start = 0
         self._track_ll_dep = cfg.predictors.dependence_aware
+        # Config limits snapshotted off the frozen dataclass: plain slots
+        # on self are one attribute hop instead of two in the stage loops.
+        self._rob_size = cfg.rob_size
+        self._lsq_size = cfg.lsq_size
+        self._int_iq_size = cfg.int_iq_size
+        self._fp_iq_size = cfg.fp_iq_size
+        self._int_rename_regs = cfg.int_rename_regs
+        self._fp_rename_regs = cfg.fp_rename_regs
+        self._commit_width = cfg.commit_width
+        self._decode_width = cfg.decode_width
+        self._fetch_width = cfg.fetch_width
+        self._fetch_max_threads = cfg.fetch_max_threads
+        self._frontend_depth = cfg.frontend_depth
+        self._wb_entries = cfg.write_buffer_entries
+        self._fast_forward = cfg.fast_forward
+        # Precomputed commit/dispatch rotation orders: _rotations[s] is the
+        # thread list starting at thread s, so the per-cycle rotation is a
+        # single tuple index instead of n modulo operations.
+        n = cfg.num_threads
+        self._rotations = tuple(
+            tuple(self.threads[(s + i) % n] for i in range(n))
+            for s in range(n))
         policy.attach(self)
+        # Bound-method hoists for the two policy calls made every cycle.
+        # The policy is attached exactly once, at construction.
+        self._policy_fetch_order = policy.fetch_order
+        self._policy_fetch_pending = policy.fetch_pending
 
     # ------------------------------------------------------------------ #
     # top-level driving
@@ -103,24 +153,47 @@ class SMTCore:
         predictors and branch state stay warm) before the measured phase.
         """
         if warmup > 0:
-            self._run_until(warmup, max_cycles)
+            try:
+                self._run_until(warmup, max_cycles)
+            finally:
+                self._settle_branch_stalls()
             self.reset_measurement()
-        self._run_until(max_commits, max_cycles)
+        try:
+            self._run_until(max_commits, max_cycles)
+        finally:
+            self._settle_branch_stalls()
         self.stats.cycles = self.cycle - self._measure_start
         self.stats.ll_intervals = self.hierarchy.ll_intervals
         return self.stats
 
     def _run_until(self, max_commits: int, max_cycles: int | None) -> None:
         limit = max_cycles if max_cycles is not None else self.cfg.max_cycles
-        threads = self.threads
+        # ``reset_measurement`` swaps the ThreadStats objects only between
+        # _run_until phases, so the commit counters can be hoisted here.
+        stats_list = [ts.stats for ts in self.threads]
+        step = self.step
         while True:
-            self.step()
-            if any(ts.stats.committed >= max_commits for ts in threads):
-                return
+            step()
+            for st in stats_list:
+                if st.committed >= max_commits:
+                    return
             if self.cycle >= limit:
                 raise SimulationLimitExceeded(
                     f"exceeded {limit} cycles without reaching "
                     f"{max_commits} commits")
+
+    def _settle_branch_stalls(self) -> None:
+        """Credit the still-open branch-wait intervals up to ``cycle``.
+
+        Branch-stall cycles are accounted at wait *end* (resolve, squash);
+        a run that stops mid-wait settles the open tail here so the total
+        matches the per-cycle scan it replaced, cycle for cycle.
+        """
+        cycle = self.cycle
+        for ts in self.threads:
+            if ts.waiting_branch is not None:
+                ts.stats.branch_stall_cycles += cycle - ts.branch_wait_since
+                ts.branch_wait_since = cycle
 
     def reset_measurement(self) -> None:
         """Zero all statistics while keeping microarchitectural state warm.
@@ -137,6 +210,10 @@ class SMTCore:
             self.stats.threads[i] = fresh
             if ts.commit_cycles is not None:
                 ts.commit_cycles = []
+            if ts.waiting_branch is not None:
+                # The open branch wait straddles the measurement boundary;
+                # only its measured-phase tail may count.
+                ts.branch_wait_since = self.cycle
             # The LLSR's register stays warm but its *sample log* is
             # measurement state: cold-start compulsory misses would
             # otherwise pollute the Figure 4 distance distribution.
@@ -154,21 +231,45 @@ class SMTCore:
     def step(self) -> None:
         """Advance one cycle (or fast-forward to the next event)."""
         cycle = self.cycle
-        self._process_events(cycle)
-        self._drain_write_buffer(cycle)
+        events = self._events
+        detects = self._detects
+        if (events and events[0][0] <= cycle) or (
+                detects and detects[0][0] <= cycle):
+            self._process_events(cycle)
+        wb = self._wb   # drain the write buffer
+        while wb and wb[0] <= cycle:
+            heappop(wb)
         self._commit(cycle)
-        self._issue(cycle)
+        if self._ready_int or self._ready_ldst or self._ready_fp:
+            self._issue(cycle)
         self._dispatch(cycle)
-        self._fetch(cycle)
+        # fetch (inlined driver; _fetch_thread does the per-thread work)
+        order = self._policy_fetch_order(cycle)
+        if order:
+            budget = self._fetch_width
+            remaining_threads = self._fetch_max_threads
+            fetch_thread = self._fetch_thread
+            for ts, ignore_stall in order:
+                if remaining_threads == 0 or budget == 0:
+                    break
+                remaining_threads -= 1
+                budget -= fetch_thread(ts, budget, cycle, ignore_stall)
         for ts in self.threads:
-            if ts.policy_stalled:
+            allowed_end = ts.allowed_end
+            if allowed_end is not None and ts.fetch_index > allowed_end:
                 ts.stats.policy_stall_cycles += 1
-            if ts.waiting_branch is not None:
-                ts.stats.branch_stall_cycles += 1
-        if self.cfg.fast_forward:
-            self.cycle = self._next_cycle(cycle)
+        nxt = cycle + 1
+        if self._fast_forward:
+            # Fast path of the fast-forward probe: if next cycle can fetch
+            # or issue, there is nothing to skip and no need to build the
+            # candidate list in _next_cycle.
+            if (self._policy_fetch_pending(nxt) or self._ready_int
+                    or self._ready_ldst or self._ready_fp):
+                self.cycle = nxt
+            else:
+                self.cycle = self._next_cycle(cycle)
         else:
-            self.cycle = cycle + 1
+            self.cycle = nxt
 
     # ------------------------------------------------------------------ #
     # events (execution completions, long-latency detections)
@@ -176,15 +277,20 @@ class SMTCore:
 
     def _process_events(self, cycle: int) -> None:
         events = self._events
-        while events and events[0][0] <= cycle:
-            _, _, di = heapq.heappop(events)
-            self._complete(di, cycle)
+        if events and events[0][0] <= cycle:
+            complete = self._complete
+            while events and events[0][0] <= cycle:
+                _, _, di = heappop(events)
+                complete(di, cycle)
         detects = self._detects
-        while detects and detects[0][0] <= cycle:
-            _, _, di = heapq.heappop(detects)
-            if di.squashed or di.completed:
-                continue
-            self.policy.on_ll_detect(di, self.threads[di.thread])
+        if detects and detects[0][0] <= cycle:
+            on_ll_detect = self.policy.on_ll_detect
+            threads = self.threads
+            while detects and detects[0][0] <= cycle:
+                _, _, di = heappop(detects)
+                if di.squashed or di.completed:
+                    continue
+                on_ll_detect(di, threads[di.thread])
 
     def _complete(self, di: DynInstr, cycle: int) -> None:
         ts = self.threads[di.thread]
@@ -196,15 +302,15 @@ class SMTCore:
         di.complete_cycle = cycle
         waiters = di.waiters
         if waiters:
-            ready = self._ready
+            ready_by_op = self._ready_by_op
             for w in waiters:
                 w.pending -= 1
                 if w.pending == 0 and not w.squashed and w.in_iq and not w.issued:
-                    heapq.heappush(
-                        ready[FU_CLASS[w.instr.op]], (w.gseq, w))
+                    heappush(ready_by_op[w.instr.op], (w.gseq, w))
             di.waiters = None
         if di.is_branch and ts.waiting_branch is di:
             ts.waiting_branch = None
+            ts.stats.branch_stall_cycles += cycle - ts.branch_wait_since
             if ts.fetch_blocked_until < cycle + 1:
                 ts.fetch_blocked_until = cycle + 1
         if di.is_load:
@@ -214,24 +320,36 @@ class SMTCore:
     # commit
     # ------------------------------------------------------------------ #
 
-    def _drain_write_buffer(self, cycle: int) -> None:
-        wb = self._wb
-        while wb and wb[0] <= cycle:
-            heapq.heappop(wb)
-
     def _commit(self, cycle: int) -> None:
+        # The inlined head checks (window non-empty, head completed) repeat
+        # _commit_one's first two rejects so the common nothing-committable
+        # cycle costs no method call.  RunaheadCore overrides _commit with
+        # the plain rotation loop: its _commit_one can make progress on
+        # heads these checks would skip (runahead entry, pseudo-retire).
         threads = self.threads
         n = len(threads)
-        budget = self.cfg.commit_width
+        budget = self._commit_width
+        commit_one = self._commit_one
+        if n == 1:
+            ts = threads[0]
+            window = ts.window
+            while budget > 0 and window:
+                if not window[0].completed or not commit_one(ts, cycle):
+                    break
+                budget -= 1
+            return
         # Rotate by cycle number (not by call count) so fast-forwarded and
         # naive runs stay cycle-exact.
-        start = cycle % n
+        order = self._rotations[cycle % n]
         while budget > 0:
             progress = False
-            for i in range(n):
+            for ts in order:
                 if budget == 0:
                     break
-                if self._commit_one(threads[(start + i) % n], cycle):
+                window = ts.window
+                if not window or not window[0].completed:
+                    continue
+                if commit_one(ts, cycle):
                     budget -= 1
                     progress = True
             if not progress:
@@ -246,10 +364,11 @@ class SMTCore:
             return False
         instr = di.instr
         if di.is_store:
-            if len(self._wb) >= self.cfg.write_buffer_entries:
+            wb = self._wb
+            if len(wb) >= self._wb_entries:
                 return False
             result = self.hierarchy.store(ts.tid, instr.pc, instr.addr, cycle)
-            heapq.heappush(self._wb, result.complete_cycle)
+            heappush(wb, result.complete_cycle)
         window.popleft()
         ts.rob_count -= 1
         self.rob_used -= 1
@@ -282,21 +401,37 @@ class SMTCore:
     # issue / execute
     # ------------------------------------------------------------------ #
 
-    _FU_COUNTS = ((FuClass.INT_ALU, "num_int_alu"),
-                  (FuClass.LDST, "num_ldst"),
-                  (FuClass.FP, "num_fp"))
-
     def _issue(self, cycle: int) -> None:
-        cfg = self.cfg
-        ready = self._ready
-        for fu, attr in self._FU_COUNTS:
-            queue = ready[fu]
-            slots = getattr(cfg, attr)
+        # self._execute is looked up per call (not bound at construction)
+        # on purpose: RunaheadCore overrides it, and tests monkeypatch it
+        # on instances to spy on the issue stream.
+        execute = self._execute
+        queue = self._ready_int
+        if queue:
+            slots = self._num_int_alu
             while queue and slots > 0:
-                _, di = heapq.heappop(queue)
+                _, di = heappop(queue)
                 if di.squashed or di.issued or di.completed:
                     continue
-                self._execute(di, cycle)
+                execute(di, cycle)
+                slots -= 1
+        queue = self._ready_ldst
+        if queue:
+            slots = self._num_ldst
+            while queue and slots > 0:
+                _, di = heappop(queue)
+                if di.squashed or di.issued or di.completed:
+                    continue
+                execute(di, cycle)
+                slots -= 1
+        queue = self._ready_fp
+        if queue:
+            slots = self._num_fp
+            while queue and slots > 0:
+                _, di = heappop(queue)
+                if di.squashed or di.issued or di.completed:
+                    continue
+                execute(di, cycle)
                 slots -= 1
 
     def _execute(self, di: DynInstr, cycle: int) -> None:
@@ -313,9 +448,9 @@ class SMTCore:
             ts.icount -= 1
         instr = di.instr
         op = instr.op
-        if op is Op.LOAD:
+        if di.is_load:
             result = self.hierarchy.load(
-                ts.tid, instr.pc, instr.addr, cycle + EXEC_LATENCY[op])
+                ts.tid, instr.pc, instr.addr, cycle + EXEC_LATENCY_BY_OP[op])
             completion = result.complete_cycle
             is_ll = result.long_latency
             di.is_ll = is_ll
@@ -335,31 +470,39 @@ class SMTCore:
             if is_ll:
                 stats.ll_loads += 1
             if result.trigger:
-                heapq.heappush(self._detects,
-                               (result.detect_cycle, di.gseq, di))
+                heappush(self._detects,
+                         (result.detect_cycle, di.gseq, di))
             di.fill_line = result.fill_line
             if result.level is not ServiceLevel.L1:
                 ts.outstanding_misses += 1
                 di.pending = -1  # marks "counted as outstanding miss"
         else:
-            completion = cycle + EXEC_LATENCY[op]
-        heapq.heappush(self._events, (completion, di.gseq, di))
+            completion = cycle + EXEC_LATENCY_BY_OP[op]
+        heappush(self._events, (completion, di.gseq, di))
 
     # ------------------------------------------------------------------ #
     # dispatch (rename + resource allocation)
     # ------------------------------------------------------------------ #
 
     def _dispatch(self, cycle: int) -> None:
-        cfg = self.cfg
-        budget = cfg.decode_width
+        # The resource gates and the rename/allocate sequence are the body
+        # of _try_dispatch, inlined: dispatch attempts run every cycle and
+        # mostly *reject* (a full shared structure blocks the head for
+        # hundreds of cycles during a memory stall), so the method call
+        # per attempt was pure overhead.  _try_dispatch remains the
+        # overridable/self-contained form; RunaheadCore overrides
+        # _dispatch with the plain per-attempt loop because its
+        # _try_dispatch must observe every attempt to propagate INV.
+        budget = self._decode_width
         any_ready = False
         blocked_by_resource = False
         dispatched = 0
-        threads = self.threads
-        n = len(threads)
-        start = (cycle + 1) % n  # offset from commit's rotation
-        for i in range(n):
-            ts = threads[(start + i) % n]
+        n = len(self.threads)
+        # The gates below read self._* limits lazily (at most one read per
+        # rejected attempt) rather than hoisting them all up front: most
+        # cycles either dispatch nothing or reject on the first gate, so
+        # an eager 10-local prologue would dominate the stage's cost.
+        for ts in self._rotations[(cycle + 1) % n]:  # offset from commit
             if budget == 0:
                 break
             fe = ts.fe_queue
@@ -368,15 +511,87 @@ class SMTCore:
                 if di.fe_ready > cycle:
                     break
                 any_ready = True
-                outcome = self._try_dispatch(ts, di)
-                if outcome is None:
-                    fe.popleft()
-                    budget -= 1
-                    dispatched += 1
-                    continue
-                if outcome:
+                # Shared-resource gates (block => resource stall).
+                if self.rob_used >= self._rob_size:
                     blocked_by_resource = True
-                break
+                    break
+                instr = di.instr
+                is_mem = di.is_load or di.is_store
+                if is_mem and self.lsq_used >= self._lsq_size:
+                    blocked_by_resource = True
+                    break
+                op = instr.op
+                fp_queue = op is Op.FALU or op is Op.FMUL
+                if fp_queue:
+                    if self.fq_used >= self._fp_iq_size:
+                        blocked_by_resource = True
+                        break
+                elif self.iq_used >= self._int_iq_size:
+                    blocked_by_resource = True
+                    break
+                if di.has_dest:
+                    if di.dest_fp:
+                        if self.fp_regs_used >= self._fp_rename_regs:
+                            blocked_by_resource = True
+                            break
+                    elif self.int_regs_used >= self._int_rename_regs:
+                        blocked_by_resource = True
+                        break
+                if not self.policy.can_dispatch(ts, di):
+                    break  # policy cap, not a resource stall
+                # All checks passed: allocate and rename.
+                self.rob_used += 1
+                ts.rob_count += 1
+                if is_mem:
+                    self.lsq_used += 1
+                    ts.lsq_count += 1
+                if fp_queue:
+                    self.fq_used += 1
+                    ts.fq_count += 1
+                else:
+                    self.iq_used += 1
+                    ts.iq_count += 1
+                di.in_iq = True
+                di.iq_is_fp = fp_queue
+                rename_map = ts.rename_map
+                rename_get = rename_map.get
+                track_dep = self._track_ll_dep
+                parents: list[DynInstr] | None = [] if track_dep else None
+                # Runahead INV instructions carry bogus values: they
+                # neither wait for producers nor execute for real.
+                wait = not di.inv
+                for src in instr.srcs:
+                    prod = rename_get(src)
+                    if prod is None:
+                        continue
+                    if track_dep and (prod.is_load
+                                      or prod.ll_parents is not None
+                                      or prod.ll_dep):
+                        parents.append(prod)
+                    if wait and not prod.completed:
+                        di.pending += 1
+                        if prod.waiters is None:
+                            prod.waiters = [di]
+                        else:
+                            prod.waiters.append(di)
+                if parents:
+                    di.ll_parents = tuple(parents)
+                if di.has_dest:
+                    dest = instr.dest
+                    di.old_map = rename_get(dest)
+                    rename_map[dest] = di
+                    if di.dest_fp:
+                        self.fp_regs_used += 1
+                        ts.fp_regs += 1
+                    else:
+                        self.int_regs_used += 1
+                        ts.int_regs += 1
+                ts.window.append(di)
+                if di.pending == 0:
+                    heappush(self._ready_by_op[op], (di.gseq, di))
+                fe.popleft()
+                budget -= 1
+                dispatched += 1
         if any_ready and dispatched == 0 and blocked_by_resource:
             self.stats.resource_stall_cycles += 1
             self.policy.on_resource_stall(cycle)
@@ -384,24 +599,24 @@ class SMTCore:
     def _try_dispatch(self, ts: ThreadState, di: DynInstr) -> bool | None:
         """Dispatch ``di``; returns None on success, else whether the block
         was caused by a full shared resource (vs. a policy cap)."""
-        cfg = self.cfg
-        if self.rob_used >= cfg.rob_size:
+        if self.rob_used >= self._rob_size:
             return True
         instr = di.instr
         is_mem = di.is_load or di.is_store
-        if is_mem and self.lsq_used >= cfg.lsq_size:
+        if is_mem and self.lsq_used >= self._lsq_size:
             return True
-        fp_queue = instr.op is Op.FALU or instr.op is Op.FMUL
+        op = instr.op
+        fp_queue = op is Op.FALU or op is Op.FMUL
         if fp_queue:
-            if self.fq_used >= cfg.fp_iq_size:
+            if self.fq_used >= self._fp_iq_size:
                 return True
-        elif self.iq_used >= cfg.int_iq_size:
+        elif self.iq_used >= self._int_iq_size:
             return True
         if di.has_dest:
             if di.dest_fp:
-                if self.fp_regs_used >= cfg.fp_rename_regs:
+                if self.fp_regs_used >= self._fp_rename_regs:
                     return True
-            elif self.int_regs_used >= cfg.int_rename_regs:
+            elif self.int_regs_used >= self._int_rename_regs:
                 return True
         if not self.policy.can_dispatch(ts, di):
             return False
@@ -420,13 +635,14 @@ class SMTCore:
         di.in_iq = True
         di.iq_is_fp = fp_queue
         rename_map = ts.rename_map
+        rename_get = rename_map.get
         track_dep = self._track_ll_dep
         parents: list[DynInstr] | None = [] if track_dep else None
         # Runahead INV instructions carry bogus values: they neither wait
         # for producers nor execute for real (see repro.runahead.core).
         wait = not di.inv
         for src in instr.srcs:
-            prod = rename_map.get(src)
+            prod = rename_get(src)
             if prod is None:
                 continue
             if track_dep and (prod.is_load or prod.ll_parents is not None
@@ -442,7 +658,7 @@ class SMTCore:
             di.ll_parents = tuple(parents)
         if di.has_dest:
             dest = instr.dest
-            di.old_map = rename_map.get(dest)
+            di.old_map = rename_get(dest)
             rename_map[dest] = di
             if di.dest_fp:
                 self.fp_regs_used += 1
@@ -452,7 +668,7 @@ class SMTCore:
                 ts.int_regs += 1
         ts.window.append(di)
         if di.pending == 0:
-            heapq.heappush(self._ready[FU_CLASS[instr.op]], (di.gseq, di))
+            heappush(self._ready_by_op[op], (di.gseq, di))
         return None
 
     # ------------------------------------------------------------------ #
@@ -474,51 +690,49 @@ class SMTCore:
         """
         return False
 
-    def _fetch(self, cycle: int) -> None:
-        order = self.policy.fetch_order(cycle)
-        if not order:
-            return
-        cfg = self.cfg
-        budget = cfg.fetch_width
-        for ts, ignore_stall in order[:cfg.fetch_max_threads]:
-            if budget == 0:
-                break
-            budget -= self._fetch_thread(ts, budget, cycle, ignore_stall)
-
     def _fetch_thread(self, ts: ThreadState, budget: int, cycle: int,
                       ignore_stall: bool) -> int:
-        cfg = self.cfg
         trace = ts.trace
+        trace_get = trace.get
+        pc_address = trace.pc_address
+        on_fetch = self.policy.on_fetch
+        fe_queue = ts.fe_queue
+        fe_append = fe_queue.append
+        line_shift = self._line_shift
+        fe_ready = cycle + self._frontend_depth
+        tid = ts.tid
+        gseq = self._gseq
         allowed_end = ts.allowed_end
         count = 0
-        fe_room = self._fe_capacity - len(ts.fe_queue)
-        while count < budget and fe_room > 0:
+        limit = self._fe_capacity - len(fe_queue)
+        if budget < limit:
+            limit = budget
+        while count < limit:
+            fetch_index = ts.fetch_index
             if not ignore_stall and allowed_end is not None \
-                    and ts.fetch_index > allowed_end:
+                    and fetch_index > allowed_end:
                 break
-            instr = trace.get(ts.fetch_index)
-            pc_addr = trace.pc_address(instr.pc)
-            line = pc_addr >> self._line_shift
+            instr = trace_get(fetch_index)
+            pc_addr = pc_address(instr.pc)
+            line = pc_addr >> line_shift
             if line != ts.last_ifetch_line:
-                done = self.hierarchy.ifetch(ts.tid, pc_addr, cycle)
+                done = self.hierarchy.ifetch(tid, pc_addr, cycle)
                 ts.last_ifetch_line = line
                 if done > cycle:
                     ts.fetch_blocked_until = done
                     break
-            self._gseq += 1
-            di = DynInstr(instr, ts.tid, ts.fetch_index, self._gseq,
-                          cycle + cfg.frontend_depth)
-            ts.fe_queue.append(di)
-            ts.fetch_index += 1
+            gseq += 1
+            di = DynInstr(instr, tid, fetch_index, gseq, fe_ready)
+            fe_append(di)
+            ts.fetch_index = fetch_index + 1
             ts.icount += 1
             ts.stats.fetched += 1
             count += 1
-            fe_room -= 1
             if di.is_load:
                 di.predicted_ll = ts.lll_pred.predict(instr.pc)
             if di.is_branch:
                 taken = instr.taken
-                prediction = self.gshare.update(instr.pc, taken, ts.tid)
+                prediction = self.gshare.update(instr.pc, taken, tid)
                 target_known = True
                 if taken:
                     target_known = self.btb.lookup(instr.pc)
@@ -526,12 +740,17 @@ class SMTCore:
                 if prediction != taken or not target_known:
                     di.mispredicted = True
                     ts.waiting_branch = di
-                    self.policy.on_fetch(di, ts)
+                    ts.branch_wait_since = cycle
+                    on_fetch(di, ts)
                     break
-            self.policy.on_fetch(di, ts)
-            if taken_branch_ends_block(di):
-                break
+                on_fetch(di, ts)
+                if taken:
+                    # A correctly-predicted taken branch ends the block.
+                    break
+            else:
+                on_fetch(di, ts)
             allowed_end = ts.allowed_end  # policy may have updated it
+        self._gseq = gseq
         return count
 
     # ------------------------------------------------------------------ #
@@ -550,47 +769,73 @@ class SMTCore:
         """
         squashed = 0
         fe = ts.fe_queue
+        icount_delta = 0
         while fe and fe[-1].seq > after_seq:
             di = fe.pop()
             di.squashed = True
-            ts.icount -= 1
+            icount_delta += 1
             squashed += 1
         if cancel_fills is None:
             cancel_fills = self.cfg.memory.cancel_squashed_fills
         window = ts.window
+        rename_map = ts.rename_map
+        ll_owners = ts.ll_owners
+        cycle = self.cycle
+        # Per-resource releases are tallied locally and applied once after
+        # the loop; a deep flush (up to a ROB slice) would otherwise do
+        # six read-modify-writes per squashed instruction.  Nothing inside
+        # the loop observes the shared counters (clear_owner touches only
+        # the policy-stall bookkeeping, cancel_fill only the hierarchy).
+        rob_delta = lsq_delta = iq_delta = fq_delta = 0
+        int_regs_delta = fp_regs_delta = 0
         while window and window[-1].seq > after_seq:
             di = window.pop()
             di.squashed = True
             squashed += 1
             if cancel_fills and di.fill_line is not None and not di.completed:
                 self.hierarchy.cancel_fill(di.fill_line, di.instr.addr,
-                                           self.cycle)
-            ts.rob_count -= 1
-            self.rob_used -= 1
+                                           cycle)
+            rob_delta += 1
             if di.is_load or di.is_store:
-                ts.lsq_count -= 1
-                self.lsq_used -= 1
+                lsq_delta += 1
             if di.in_iq:
                 di.in_iq = False
-                ts.icount -= 1
+                icount_delta += 1
                 if di.iq_is_fp:
-                    ts.fq_count -= 1
-                    self.fq_used -= 1
+                    fq_delta += 1
                 else:
-                    ts.iq_count -= 1
-                    self.iq_used -= 1
+                    iq_delta += 1
             if di.has_dest:
-                ts.rename_map[di.instr.dest] = di.old_map
+                rename_map[di.instr.dest] = di.old_map
                 if di.dest_fp:
-                    ts.fp_regs -= 1
-                    self.fp_regs_used -= 1
+                    fp_regs_delta += 1
                 else:
-                    ts.int_regs -= 1
-                    self.int_regs_used -= 1
-            if di in ts.ll_owners:
-                ts.clear_owner(di, self.cycle)
+                    int_regs_delta += 1
+            if di in ll_owners:
+                ts.clear_owner(di, cycle)
+        if rob_delta:
+            ts.rob_count -= rob_delta
+            self.rob_used -= rob_delta
+        if lsq_delta:
+            ts.lsq_count -= lsq_delta
+            self.lsq_used -= lsq_delta
+        if iq_delta:
+            ts.iq_count -= iq_delta
+            self.iq_used -= iq_delta
+        if fq_delta:
+            ts.fq_count -= fq_delta
+            self.fq_used -= fq_delta
+        if int_regs_delta:
+            ts.int_regs -= int_regs_delta
+            self.int_regs_used -= int_regs_delta
+        if fp_regs_delta:
+            ts.fp_regs -= fp_regs_delta
+            self.fp_regs_used -= fp_regs_delta
+        if icount_delta:
+            ts.icount -= icount_delta
         if ts.waiting_branch is not None and ts.waiting_branch.squashed:
             ts.waiting_branch = None
+            ts.stats.branch_stall_cycles += self.cycle - ts.branch_wait_since
         ts.fetch_index = after_seq + 1
         ts.last_ifetch_line = -1
         ts.stats.squashed += squashed
@@ -614,19 +859,20 @@ class SMTCore:
         return not window[0].is_store or not wb_full
 
     def _next_cycle(self, cycle: int) -> int:
+        # step() has already established that nothing can fetch or issue
+        # at ``nxt``; find the earliest future cycle where anything can
+        # happen, or prove the pipeline is wedged.
         nxt = cycle + 1
-        if self.policy.fetch_order(nxt):
-            return nxt
-        ready = self._ready
-        if ready[FuClass.INT_ALU] or ready[FuClass.LDST] or ready[FuClass.FP]:
-            return nxt
         candidates = []
-        wb_full = len(self._wb) >= self.cfg.write_buffer_entries
+        wb = self._wb
+        wb_full = len(wb) >= self._wb_entries
+        head_retirable = self._head_retirable
         for ts in self.threads:
-            if self._head_retirable(ts, wb_full):
+            if head_retirable(ts, wb_full):
                 return nxt
-            if ts.fe_queue:
-                head_ready = ts.fe_queue[0].fe_ready
+            fe = ts.fe_queue
+            if fe:
+                head_ready = fe[0].fe_ready
                 if head_ready <= nxt:
                     return nxt
                 candidates.append(head_ready)
@@ -636,8 +882,8 @@ class SMTCore:
             candidates.append(self._events[0][0])
         if self._detects:
             candidates.append(self._detects[0][0])
-        if self._wb:
-            candidates.append(self._wb[0])
+        if wb:
+            candidates.append(wb[0])
         if not candidates:
             raise SimulationDeadlock(
                 f"no future events at cycle {cycle}; pipeline is wedged")
@@ -646,13 +892,7 @@ class SMTCore:
             return nxt
         skipped = target - nxt
         for ts in self.threads:
-            if ts.policy_stalled:
+            allowed_end = ts.allowed_end
+            if allowed_end is not None and ts.fetch_index > allowed_end:
                 ts.stats.policy_stall_cycles += skipped
-            if ts.waiting_branch is not None:
-                ts.stats.branch_stall_cycles += skipped
         return target
-
-
-def taken_branch_ends_block(di: DynInstr) -> bool:
-    """A correctly-predicted taken branch ends the thread's fetch block."""
-    return di.is_branch and di.instr.taken and not di.mispredicted

@@ -33,12 +33,12 @@ class ThreadState:
         "fe_queue", "window", "rename_map",
         "icount", "rob_count", "lsq_count", "iq_count", "fq_count",
         "int_regs", "fp_regs",
-        "fetch_blocked_until", "waiting_branch",
+        "fetch_blocked_until", "waiting_branch", "branch_wait_since",
         "allowed_end", "ll_owners", "stall_start",
         "last_ifetch_line",
         "outstanding_misses",
         "llsr", "lll_pred", "mlp_pred", "binary_mlp",
-        "stats", "policy_data", "commit_cycles",
+        "stats", "policy_data", "commit_cycles", "fetch_entry",
     )
 
     def __init__(self, tid: int, trace: "SyntheticTrace", cfg: SMTConfig):
@@ -57,6 +57,10 @@ class ThreadState:
         self.fp_regs = 0
         self.fetch_blocked_until = 0
         self.waiting_branch: DynInstr | None = None
+        # Cycle the current branch wait began; branch_stall_cycles is
+        # accounted event-wise (wait start -> resolve/squash) instead of
+        # by a per-cycle scan — see SMTCore.step / _settle_branch_stalls.
+        self.branch_wait_since = 0
         # Policy state: fetch allowed up to this per-thread sequence number
         # (inclusive); None means unrestricted.  ``ll_owners`` maps each
         # unresolved long-latency load driving the restriction to its
@@ -76,6 +80,9 @@ class ThreadState:
                          exclude_dependent=pred_cfg.dependence_aware)
         self.stats = ThreadStats()
         self.policy_data: dict = {}
+        #: Interned ``(self, False)`` pair for fetch_order results, so the
+        #: per-cycle ICOUNT ordering allocates no tuples.
+        self.fetch_entry = (self, False)
         # When not None, the commit cycle of every instruction is appended
         # here (used to evaluate single-threaded CPI at arbitrary
         # instruction counts, per the paper's Section 5 methodology).

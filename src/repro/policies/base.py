@@ -15,12 +15,15 @@ number; the thread fetch-stalls past the maximum grant.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pipeline.core import SMTCore
     from repro.pipeline.dyninstr import DynInstr
     from repro.pipeline.thread_state import ThreadState
+
+_BY_ICOUNT = attrgetter("icount")
 
 
 class FetchPolicy:
@@ -51,27 +54,74 @@ class FetchPolicy:
 
         Returns ``(thread, ignore_stall)`` pairs; ``ignore_stall`` marks a
         COT grant that overrides the thread's own policy stall.  Must be
-        side-effect free (the engine also calls it when probing whether a
-        future cycle can do useful work).
+        side-effect free.  Subclasses that change the *eligibility* rules
+        here must override :meth:`fetch_pending` to match.
         """
         core = self.core
-        eligible = [ts for ts in core.threads
-                    if core.fetchable(ts, cycle) and not ts.policy_stalled]
+        threads = core.threads
+        fe_capacity = core._fe_capacity  # fetchable(), inlined: this runs
+        eligible = []                    # for every thread, every cycle
+        any_fetchable = False
+        for ts in threads:
+            if (ts.fetch_blocked_until <= cycle
+                    and ts.waiting_branch is None
+                    and len(ts.fe_queue) < fe_capacity):
+                any_fetchable = True
+                allowed_end = ts.allowed_end
+                if allowed_end is None or ts.fetch_index <= allowed_end:
+                    eligible.append(ts)
         if eligible:
-            eligible.sort(key=lambda ts: ts.icount)
-            return [(ts, False) for ts in eligible]
+            if len(eligible) > 1:
+                eligible.sort(key=_BY_ICOUNT)
+            return [ts.fetch_entry for ts in eligible]
+        if not any_fetchable:
+            return []
         # COT applies only when *every* thread is stalled because of a
         # long-latency load — a thread that is merely back-pressured (full
         # fetch queue, unresolved branch) will resume by itself, and
         # granting a stalled thread fetch in the meantime would defeat the
         # stall/flush policy.
-        if not all(ts.policy_stalled for ts in core.threads):
-            return []
-        stalled = [ts for ts in core.threads if core.fetchable(ts, cycle)]
-        if not stalled:
-            return []
-        oldest = min(stalled, key=lambda ts: ts.stall_start)
-        return [(oldest, True)]
+        oldest = None
+        for ts in threads:
+            allowed_end = ts.allowed_end
+            if allowed_end is None or ts.fetch_index <= allowed_end:
+                return []
+        fetchable = core.fetchable
+        for ts in threads:
+            if fetchable(ts, cycle) and (
+                    oldest is None or ts.stall_start < oldest.stall_start):
+                oldest = ts
+        return [] if oldest is None else [(oldest, True)]
+
+    def fetch_pending(self, cycle: int) -> bool:
+        """Would :meth:`fetch_order` be non-empty at ``cycle``?
+
+        The fast-forward probe calls this every cycle; the default mirrors
+        the base :meth:`fetch_order` truthiness without building or
+        sorting the candidate list.  Subclasses that override
+        :meth:`fetch_order` with different eligibility rules must override
+        this too (``return bool(self.fetch_order(cycle))`` is always a
+        correct, if slower, implementation).
+        """
+        core = self.core
+        threads = core.threads
+        fe_capacity = core._fe_capacity
+        any_fetchable = False
+        for ts in threads:
+            if (ts.fetch_blocked_until <= cycle
+                    and ts.waiting_branch is None
+                    and len(ts.fe_queue) < fe_capacity):
+                allowed_end = ts.allowed_end
+                if allowed_end is None or ts.fetch_index <= allowed_end:
+                    return True
+                any_fetchable = True
+        if not any_fetchable:
+            return False
+        for ts in threads:
+            allowed_end = ts.allowed_end
+            if allowed_end is None or ts.fetch_index <= allowed_end:
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     # hooks

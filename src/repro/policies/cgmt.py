@@ -83,6 +83,9 @@ class CGMTPolicy(LongLatencyAwarePolicy):
             return [(ts, True)]  # COT: the active thread resumes first
         return []
 
+    def fetch_pending(self, cycle: int) -> bool:
+        return bool(self.fetch_order(cycle))
+
     # ------------------------------------------------------------------ #
     # switching
     # ------------------------------------------------------------------ #

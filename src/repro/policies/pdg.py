@@ -57,6 +57,11 @@ class DataGatingPolicy(FetchPolicy):
         eligible.sort(key=lambda ts: ts.icount)
         return [(ts, False) for ts in eligible]
 
+    def fetch_pending(self, cycle: int) -> bool:
+        core = self.core
+        return any(core.fetchable(ts, cycle) and not self._gated(ts)
+                   for ts in core.threads)
+
 
 class PredictiveDataGatingPolicy(FetchPolicy):
     """PDG: gate on the number of predicted-miss loads in flight."""
@@ -92,6 +97,11 @@ class PredictiveDataGatingPolicy(FetchPolicy):
                     if core.fetchable(ts, cycle) and not self._gated(ts)]
         eligible.sort(key=lambda ts: ts.icount)
         return [(ts, False) for ts in eligible]
+
+    def fetch_pending(self, cycle: int) -> bool:
+        core = self.core
+        return any(core.fetchable(ts, cycle) and not self._gated(ts)
+                   for ts in core.threads)
 
     def on_fetch(self, di: "DynInstr", ts: "ThreadState") -> None:
         if di.is_load and self._miss_pred[ts.tid].predict(di.instr.pc):

@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import heapq
 
-from repro.isa import FuClass, FU_CLASS
 from repro.pipeline.core import SMTCore
 from repro.pipeline.dyninstr import DynInstr
 from repro.pipeline.thread_state import ThreadState
@@ -98,18 +97,75 @@ class RunaheadCore(SMTCore):
         di.inv = True
         waiters = di.waiters
         if waiters:
-            ready = self._ready
+            ready_by_op = self._ready_by_op
             for w in waiters:
                 w.inv = True
                 w.pending -= 1
                 if (w.pending == 0 and not w.squashed and w.in_iq
                         and not w.issued):
-                    heapq.heappush(ready[FU_CLASS[w.instr.op]], (w.gseq, w))
+                    heapq.heappush(ready_by_op[w.instr.op], (w.gseq, w))
             di.waiters = None
 
     # ------------------------------------------------------------------ #
     # commit stage: normal commit, runahead entry, pseudo-retirement
     # ------------------------------------------------------------------ #
+
+    def _commit(self, cycle: int) -> None:
+        # The base core inlines "head missing/incomplete -> skip" into its
+        # commit loop; here an incomplete head can still make progress
+        # (runahead entry, pseudo-retirement of INV instructions), so every
+        # rotation slot must reach _commit_one.
+        threads = self.threads
+        n = len(threads)
+        budget = self._commit_width
+        commit_one = self._commit_one
+        start = cycle % n
+        while budget > 0:
+            progress = False
+            for i in range(n):
+                if budget == 0:
+                    break
+                if commit_one(threads[(start + i) % n], cycle):
+                    budget -= 1
+                    progress = True
+            if not progress:
+                break
+
+    def _dispatch(self, cycle: int) -> None:
+        # The base core short-circuits dispatch when the shared ROB is
+        # full; runahead must keep calling _try_dispatch per attempt so INV
+        # flags propagate through the rename map at the same cycles as the
+        # pre-optimization engine.
+        budget = self._decode_width
+        any_ready = False
+        blocked_by_resource = False
+        dispatched = 0
+        threads = self.threads
+        n = len(threads)
+        try_dispatch = self._try_dispatch
+        start = (cycle + 1) % n  # offset from commit's rotation
+        for i in range(n):
+            ts = threads[(start + i) % n]
+            if budget == 0:
+                break
+            fe = ts.fe_queue
+            while budget > 0 and fe:
+                di = fe[0]
+                if di.fe_ready > cycle:
+                    break
+                any_ready = True
+                outcome = try_dispatch(ts, di)
+                if outcome is None:
+                    fe.popleft()
+                    budget -= 1
+                    dispatched += 1
+                    continue
+                if outcome:
+                    blocked_by_resource = True
+                break
+        if any_ready and dispatched == 0 and blocked_by_resource:
+            self.stats.resource_stall_cycles += 1
+            self.policy.on_resource_stall(cycle)
 
     def _commit_one(self, ts: ThreadState, cycle: int) -> bool:
         ra = self._ra[ts.tid]

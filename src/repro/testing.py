@@ -1,0 +1,74 @@
+"""Shared test/benchmark environment helpers.
+
+Both pytest suites (``tests/`` and ``benchmarks/``) manage the
+:mod:`repro.jobs` environment knobs — ``REPRO_CACHE_DIR``,
+``REPRO_CACHE``, ``REPRO_JOBS`` — around their sessions.  They used to do
+it with ad-hoc, subtly different save/apply/restore code; this module is
+the single implementation.
+
+* ``tests/`` pins a temporary store directory with caching forced on and
+  worker parallelism forced off: hermetic in both directions (the suite
+  never touches ``~/.cache/repro``, and ambient settings can't flip the
+  behaviors the tests assert).
+* ``benchmarks/`` resolves the ambient configuration once and pins the
+  *resolved* values, so every worker subprocess of a multi-process batch
+  sees the same store even if the environment mutates mid-session.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+#: The environment knobs the repro.jobs engine reads (see repro/jobs/store.py).
+ENV_KEYS = ("REPRO_CACHE_DIR", "REPRO_CACHE", "REPRO_JOBS")
+
+
+@contextmanager
+def pinned_environment(**pins: str | None):
+    """Set each ``KEY=value`` pin (``None`` removes the variable), restore on exit.
+
+    Only keys in :data:`ENV_KEYS` are accepted — this is a result-store
+    pinning helper, not a general env patcher.
+    """
+    for key in pins:
+        if key not in ENV_KEYS:
+            raise ValueError(f"{key!r} is not a repro.jobs env knob "
+                             f"(expected one of {ENV_KEYS})")
+    saved = {key: os.environ.get(key) for key in pins}
+    try:
+        for key, value in pins.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = str(value)
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@contextmanager
+def isolated_result_store(cache_dir: str):
+    """Hermetic store: ``cache_dir``, caching on, no worker parallelism."""
+    with pinned_environment(REPRO_CACHE_DIR=cache_dir, REPRO_CACHE="1",
+                            REPRO_JOBS=None):
+        yield
+
+
+@contextmanager
+def resolved_result_store():
+    """Pin the *currently resolved* store configuration for a session.
+
+    Honors the ambient ``REPRO_CACHE_DIR``/``REPRO_CACHE``/``REPRO_JOBS``
+    (benchmarks intentionally keep a warm persistent cache across runs)
+    but writes the resolved directory back, so subprocess workers and
+    late readers agree on one location.
+    """
+    from repro.jobs.store import cache_root
+
+    with pinned_environment(REPRO_CACHE_DIR=str(cache_root())):
+        yield

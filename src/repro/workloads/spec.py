@@ -27,7 +27,7 @@ Table I.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 
 from repro.isa import FP_REG_BASE, Op

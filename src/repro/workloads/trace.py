@@ -103,10 +103,14 @@ class SyntheticTrace:
 
     def get(self, index: int) -> Instr:
         """The ``index``-th dynamic instruction (stateless, repeatable)."""
-        iteration, pos = divmod(index, self.body_len)
+        body_len = self.body_len
+        pos = index % body_len
         static = self._static[pos]
         if static is not None:
+            # Iteration-invariant slot (compute, consumer, loop branch):
+            # skip the quotient — most fetches take this path.
             return static
+        iteration = index // body_len
         slot = self.body[pos]
         kind = slot.kind
         spec = self.spec

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.config import scaled_config
 from repro.isa import Instr, Op
+from repro.testing import isolated_result_store
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -17,22 +16,11 @@ def _isolated_result_store(tmp_path_factory):
     Keeps the suite hermetic in both directions: tests never touch the
     user's ``~/.cache/repro``, and ambient ``REPRO_CACHE=0`` /
     ``REPRO_JOBS`` settings can't flip the behaviors the tests assert.
+    Shares its save/apply/restore logic with benchmarks/conftest.py via
+    :mod:`repro.testing`.
     """
-    pinned = {"REPRO_CACHE_DIR": str(tmp_path_factory.mktemp("repro-cache")),
-              "REPRO_CACHE": "1",
-              "REPRO_JOBS": None}
-    saved = {name: os.environ.get(name) for name in pinned}
-    for name, value in pinned.items():
-        if value is None:
-            os.environ.pop(name, None)
-        else:
-            os.environ[name] = value
-    yield
-    for name, value in saved.items():
-        if value is None:
-            os.environ.pop(name, None)
-        else:
-            os.environ[name] = value
+    with isolated_result_store(str(tmp_path_factory.mktemp("repro-cache"))):
+        yield
 
 
 class StubTrace:

@@ -10,7 +10,6 @@ from repro.policies import (
     CGMTPolicy,
     DataGatingPolicy,
     LearningPartitionPolicy,
-    MLPAwareCGMTPolicy,
     MLPAwareDCRAPolicy,
     PredictiveDataGatingPolicy,
     make_policy,

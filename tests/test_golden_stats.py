@@ -1,0 +1,50 @@
+"""Cycle-exactness regression matrix for the optimized SMT core.
+
+The fixture ``tests/golden/golden_stats.json`` was generated from the
+*pre-optimization* core (``python -m repro.perf.golden``); every cell of
+the fixed-seed {1,2,4}-thread x {icount, stall, flush, mlp_stall} matrix
+must still reproduce its committed-cycle counts, IPC, flush counts, and
+stall counters bit-for-bit.  A diff here means a hot-loop "optimization"
+changed architectural behavior — that is a bug, not a baseline refresh,
+unless the change to the timing model was intentional and reviewed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.golden import (
+    GOLDEN_SCHEMA,
+    golden_matrix,
+    snapshot_cell,
+)
+
+_FIXTURE = Path(__file__).parent / "golden" / "golden_stats.json"
+
+
+def _load_fixture() -> dict:
+    doc = json.loads(_FIXTURE.read_text())
+    assert doc["schema"] == GOLDEN_SCHEMA
+    return doc
+
+
+_MATRIX = {sc.name: sc for sc in golden_matrix()}
+
+
+def test_fixture_covers_matrix():
+    doc = _load_fixture()
+    assert set(doc["cells"]) == set(_MATRIX), (
+        "golden fixture out of sync with the matrix definition; "
+        "regenerate with `python -m repro.perf.golden`")
+
+
+@pytest.mark.parametrize("cell", sorted(_MATRIX), ids=str)
+def test_golden_cell(cell):
+    expected = _load_fixture()["cells"][cell]
+    actual = snapshot_cell(_MATRIX[cell])
+    assert actual == expected, (
+        f"{cell}: architectural stats diverged from the pinned "
+        f"pre-optimization core")

@@ -4,7 +4,7 @@ from dataclasses import replace
 
 from hypothesis import given, settings, strategies as st
 
-from repro.config import MemoryConfig, PrefetcherConfig, scaled_memory
+from repro.config import scaled_memory
 from repro.memory import MemoryHierarchy, ServiceLevel
 from repro.memory.hierarchy import mlp_from_intervals
 

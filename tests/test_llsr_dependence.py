@@ -1,6 +1,5 @@
 """Dependence-aware LLSR (paper §4.2 future work): unit + integration."""
 
-import pytest
 
 from dataclasses import replace
 

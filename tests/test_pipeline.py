@@ -1,6 +1,5 @@
 """Directed tests of the SMT pipeline core."""
 
-from dataclasses import replace
 
 import pytest
 

@@ -152,8 +152,6 @@ class TestMLPGating:
 class TestFastForwardEquivalence:
     @pytest.mark.parametrize("policy", ["runahead", "mlp_runahead"])
     def test_fast_forward_is_cycle_exact(self, policy):
-        from dataclasses import replace
-
         def final_state(fast_forward):
             cfg = scaled_config(num_threads=2, scale=16,
                                 fast_forward=fast_forward)
