@@ -15,7 +15,6 @@ flush holds fewer resources — the co-runner gains.  On stream programs
 from dataclasses import replace
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import evaluate_workload
 from repro.experiments.runner import clear_baseline_cache, run_workload
 

@@ -14,7 +14,6 @@ the full 128/256, mirroring Figure 4's spread.
 from dataclasses import replace
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments.runner import trace_for
 from repro.pipeline import SMTCore
 from repro.policies import make_policy

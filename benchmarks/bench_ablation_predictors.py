@@ -16,7 +16,6 @@ table to 64 entries costs accuracy through aliasing.
 from dataclasses import replace
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import evaluate_workload
 from repro.experiments.runner import clear_baseline_cache, run_single
 

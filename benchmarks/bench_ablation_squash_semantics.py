@@ -10,7 +10,6 @@ behaviour rides on that choice.
 from dataclasses import replace
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import evaluate_workload
 from repro.experiments.runner import clear_baseline_cache
 

@@ -15,7 +15,6 @@ moves with how much MLP the workload has to protect.
 """
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import evaluate_workload
 from repro.experiments.runner import run_workload
 

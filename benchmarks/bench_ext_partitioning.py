@@ -16,7 +16,6 @@ Expected shape:
 """
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import compare_policies, summarize_policies
 from repro.experiments.policy_comparison import format_summary
 

@@ -12,7 +12,6 @@ less often (it serves short-distance episodes with the cheaper flush).
 """
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import compare_policies, summarize_policies
 from repro.experiments.policy_comparison import format_summary
 from repro.experiments.runner import run_workload

@@ -7,7 +7,6 @@ performance while still handing galgel most of the machine.
 """
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import evaluate_workload
 
 MLP_PAIRS = (("mcf", "swim"), ("mcf", "galgel"), ("lucas", "fma3d"))

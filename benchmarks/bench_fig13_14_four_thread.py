@@ -12,7 +12,6 @@ from bench_common import (
     four_thread_workloads,
     print_header,
 )
-
 from repro.experiments import compare_policies, summarize_policies
 from repro.experiments.policy_comparison import format_summary
 from repro.policies import MAIN_COMPARISON

@@ -6,7 +6,6 @@ more valuable releasing them becomes.
 """
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import memory_latency_sweep
 
 WORKLOADS = (("swim", "twolf"), ("vpr", "mcf"), ("fma3d", "twolf"))

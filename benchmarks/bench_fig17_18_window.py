@@ -7,7 +7,6 @@ grows (bigger windows expose more MLP worth preserving).
 """
 
 from bench_common import bench_commits, bench_config, print_header
-
 from repro.experiments import window_size_sweep
 
 WORKLOADS = (("swim", "twolf"), ("vpr", "mcf"), ("fma3d", "twolf"))

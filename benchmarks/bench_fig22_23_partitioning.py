@@ -14,7 +14,6 @@ from bench_common import (
     print_header,
     two_thread_groups,
 )
-
 from repro.experiments import compare_policies, summarize_policies
 from repro.experiments.policy_comparison import format_summary
 

@@ -8,7 +8,6 @@ per-load MLP distance predictor.
 """
 
 from bench_common import bench_commits, print_header
-
 from repro.experiments.profile import profile_benchmark
 
 #: The six most MLP-intensive programs by Table I MLP impact.

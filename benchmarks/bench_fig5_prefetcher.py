@@ -6,7 +6,6 @@ codes.
 """
 
 from bench_common import bench_commits, print_header
-
 from repro.experiments.single_thread import mean_speedup, prefetcher_comparison
 
 

@@ -8,7 +8,6 @@
 """
 
 from bench_common import bench_commits, print_header
-
 from repro.experiments.profile import profile_benchmark
 from repro.workloads import TABLE_I
 

@@ -7,7 +7,6 @@ ILP/MLP classification — side by side with the paper's published values.
 """
 
 from bench_common import bench_commits, print_header
-
 from repro.experiments.characterize import characterize, format_table
 from repro.workloads import TABLE_I
 

@@ -1,7 +1,7 @@
 """Pytest configuration for the benchmark harness."""
 
-import sys
 from pathlib import Path
+import sys
 
 import pytest
 

@@ -1,6 +1,6 @@
 """Branch prediction: gshare direction predictor and a set-associative BTB."""
 
-from repro.branch.gshare import GShare
 from repro.branch.btb import BTB
+from repro.branch.gshare import GShare
 
 __all__ = ["GShare", "BTB"]

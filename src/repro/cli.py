@@ -239,9 +239,21 @@ def cmd_perf_compare(args) -> int:
     max_regression = (perf.DEFAULT_MAX_REGRESSION
                       if args.max_regression is None
                       else args.max_regression)
-    report = perf.compare(suite, baseline, max_regression=max_regression)
+    try:
+        report = perf.compare(suite, baseline,
+                              max_regression=max_regression)
+    except perf.BaselineError as exc:
+        raise SystemExit(f"perf compare: {exc}")
     if args.json:
         doc = perf.suite_to_doc(suite)
+        # Calibration-normalized throughput (simulated kilocycles per
+        # calibration-spin-second of machine work) is machine-speed-free:
+        # appending each CI run's values to the uploaded artifact makes
+        # runner-generation drift observable across runs.
+        normalized = {
+            r.name: round(r.cycles_per_sec * suite.calibration_s / 1e3, 3)
+            for r in suite.results
+        }
         doc["compare"] = {
             "mode": report.mode,
             "max_regression": report.max_regression,
@@ -249,6 +261,7 @@ def cmd_perf_compare(args) -> int:
             "geomean_speedup": round(report.geomean_speedup, 3),
             "ok": report.ok,
             "missing": report.missing,
+            "normalized_kcycles_per_calib_s": normalized,
             "scenarios": {
                 d.name: {"speedup": round(d.speedup, 3),
                          "current_wall_s": round(d.current_wall_s, 6),

@@ -13,9 +13,9 @@ processor).  Two factory functions are provided:
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass, field, replace
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field, replace
 
 KB = 1024
 MB = 1024 * KB

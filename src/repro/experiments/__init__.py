@@ -5,12 +5,20 @@ See DESIGN.md for the experiment index.  Each driver returns plain data
 tests can all share them.
 """
 
+from repro.experiments.characterize import CharacterizationRow, characterize
 from repro.experiments.defaults import (
     default_commits,
     default_config,
     default_single_config,
     scaled,
 )
+from repro.experiments.policy_comparison import (
+    PolicyCell,
+    cells_from_batch,
+    compare_policies,
+    summarize_policies,
+)
+from repro.experiments.profile import ProfileResult, profile_benchmark
 from repro.experiments.runner import (
     SingleThreadResult,
     WorkloadResult,
@@ -22,14 +30,6 @@ from repro.experiments.runner import (
     simulate_baseline,
     single_thread_baseline,
     trace_for,
-)
-from repro.experiments.characterize import CharacterizationRow, characterize
-from repro.experiments.profile import ProfileResult, profile_benchmark
-from repro.experiments.policy_comparison import (
-    PolicyCell,
-    cells_from_batch,
-    compare_policies,
-    summarize_policies,
 )
 from repro.experiments.sweeps import memory_latency_sweep, window_size_sweep
 

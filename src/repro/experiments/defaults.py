@@ -19,8 +19,8 @@ Environment knobs:
 
 from __future__ import annotations
 
-import os
 from dataclasses import replace
+import os
 
 from repro.config import SMTConfig, scaled_config
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import sys
 import time
 
+from repro.experiments import paper_data
 from repro.experiments.characterize import characterize
 from repro.experiments.defaults import default_commits, default_config
 from repro.experiments.policy_comparison import (
@@ -27,7 +28,6 @@ from repro.experiments.profile import profile_benchmark
 from repro.experiments.runner import clear_baseline_cache, evaluate_workload
 from repro.experiments.single_thread import mean_speedup, prefetcher_comparison
 from repro.experiments.sweeps import memory_latency_sweep, window_size_sweep
-from repro.experiments import paper_data
 from repro.policies import ALTERNATIVES, MAIN_COMPARISON
 from repro.report import markdown_table
 

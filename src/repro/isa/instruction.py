@@ -81,9 +81,15 @@ class Instr:
         srcs: source architectural registers (zero register filtered out).
         addr: byte address for loads/stores, else ``None``.
         taken: resolved branch direction (branches only).
+
+    The class-membership flags (``is_load`` .. ``dest_fp``) are plain
+    slots computed once here: every in-flight ``DynInstr`` copies them,
+    so the per-fetch hot path never re-derives them from ``op``/``dest``.
     """
 
-    __slots__ = ("pc", "op", "dest", "srcs", "addr", "taken")
+    __slots__ = ("pc", "op", "dest", "srcs", "addr", "taken",
+                 "is_load", "is_store", "is_branch", "has_dest", "dest_fp",
+                 "op_i", "fp_queue")
 
     def __init__(self, pc: int, op: Op, dest: int | None = None,
                  srcs: tuple[int, ...] = (), addr: int | None = None,
@@ -94,6 +100,13 @@ class Instr:
         self.srcs = tuple(s for s in srcs if s != ZERO_REG)
         self.addr = addr
         self.taken = taken
+        self.is_load = op is Op.LOAD
+        self.is_store = op is Op.STORE
+        self.is_branch = op is Op.BRANCH
+        self.has_dest = dest is not None
+        self.dest_fp = dest is not None and dest >= FP_REG_BASE
+        self.op_i = int(op)      # plain-int index into the per-op tables
+        self.fp_queue = op is Op.FALU or op is Op.FMUL
 
     @property
     def is_mem(self) -> bool:

@@ -31,6 +31,13 @@ Quickstart::
     print(batch.report)
 """
 
+from repro.jobs.executor import (
+    BatchReport,
+    BatchResult,
+    counters,
+    default_workers,
+    run_jobs,
+)
 from repro.jobs.spec import (
     KIND_BASELINE,
     KIND_WORKLOAD,
@@ -43,13 +50,6 @@ from repro.jobs.store import (
     cache_enabled,
     cache_root,
     default_store,
-)
-from repro.jobs.executor import (
-    BatchReport,
-    BatchResult,
-    counters,
-    default_workers,
-    run_jobs,
 )
 
 __all__ = [

@@ -20,9 +20,9 @@ comes from ``workers=`` or the ``REPRO_JOBS`` environment variable
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from multiprocessing import get_context
+import os
 from typing import Callable
 
 from repro.experiments.runner import (

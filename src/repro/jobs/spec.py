@@ -16,9 +16,9 @@ changes and are identical in every worker process.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import hashlib
 import json
-from dataclasses import dataclass
 from typing import Any
 
 from repro import __version__

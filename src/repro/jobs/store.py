@@ -30,8 +30,8 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
+import tempfile
 from typing import Any
 
 from repro import __version__

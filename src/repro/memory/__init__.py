@@ -1,10 +1,10 @@
 """Memory hierarchy: caches, TLBs, prefetcher, and the composed timing model."""
 
 from repro.memory.cache import Cache
-from repro.memory.tlb import TLB
-from repro.memory.stride_predictor import StridePredictor
-from repro.memory.stream_buffer import StreamBufferPrefetcher
 from repro.memory.hierarchy import AccessResult, MemoryHierarchy, ServiceLevel
+from repro.memory.stream_buffer import StreamBufferPrefetcher
+from repro.memory.stride_predictor import StridePredictor
+from repro.memory.tlb import TLB
 
 __all__ = [
     "AccessResult",

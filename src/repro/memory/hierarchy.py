@@ -23,8 +23,8 @@ demand miss; comparing a serialized run against a normal run yields the
 
 from __future__ import annotations
 
-import heapq
 from enum import IntEnum
+import heapq
 
 from repro.config import MemoryConfig
 from repro.memory.cache import Cache

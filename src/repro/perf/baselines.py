@@ -13,11 +13,11 @@ gate actually cares about — simulator work per unit of Python work.
 
 from __future__ import annotations
 
-import json
-import platform
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
+import json
 from pathlib import Path
+import platform
 
 from repro.perf.harness import BenchResult, SuiteResult
 
@@ -215,10 +215,19 @@ def compare(suite: SuiteResult, baseline: dict,
     A scenario regresses when its calibration-normalized wall time exceeds
     the baseline's by more than ``max_regression`` (0.25 = 25% slower).
     Scenarios absent from the baseline are listed, not failed — a new
-    scenario must be able to land before its baseline does.
+    scenario must be able to land before its baseline does.  A baseline
+    without the requested *mode* raises :class:`BaselineError` instead of
+    silently comparing an empty section (which would report "ok" while
+    gating nothing).
     """
     mode = "quick" if suite.quick else "full"
-    section = baseline.get("modes", {}).get(mode, {})
+    section = baseline.get("modes", {}).get(mode)
+    if section is None:
+        have = ", ".join(sorted(baseline.get("modes", {}))) or "none"
+        raise BaselineError(
+            f"baseline has no {mode!r} mode section (has: {have}); "
+            f"refresh it with `python -m repro perf update"
+            f"{' --quick' if mode == 'quick' else ''}`")
     entries = section.get("scenarios", {})
     base_calib = float(section.get("calibration_s") or 0.0)
     calib_ratio = (suite.calibration_s / base_calib) if base_calib else 1.0

@@ -3,8 +3,9 @@
 Hot-loop optimizations in :mod:`repro.pipeline.core` are only admissible
 if they are *cycle-exact* — same committed-cycle counts, same IPC, same
 flush and stall counters, for every policy class.  This module defines a
-fixed-seed scenario matrix ({1,2,4} threads x {icount, stall, flush,
-mlp_stall}) and serializes each cell's :class:`repro.pipeline.stats.
+fixed-seed scenario matrix ({1,2,4} threads x every paper policy:
+{icount, stall, pred_stall, flush, mlp_stall, mlp_flush, dcra,
+mlp_dcra}) and serializes each cell's :class:`repro.pipeline.stats.
 CoreStats` to a stable dict.  ``tests/test_golden_stats.py`` compares a
 fresh simulation of every cell against the committed fixture
 ``tests/golden/golden_stats.json``, which was generated *before* the
@@ -13,21 +14,31 @@ optimizations landed.
 Regenerate (only when an intentional behavior change invalidates it):
 
     python -m repro.perf.golden tests/golden/golden_stats.json
+
+The regenerator refuses to overwrite a fixture whose ``schema`` stamp
+differs from :data:`GOLDEN_SCHEMA` (a mismatch means the checkout and
+the fixture disagree about what the numbers *mean*); pass ``--force``
+after verifying the schema change is intentional.
 """
 
 from __future__ import annotations
 
 import json
-import sys
 from pathlib import Path
+import sys
 
 from repro.perf.scenarios import Scenario, run_scenario
 
 GOLDEN_SCHEMA = "repro.golden/1"
 
 #: Policies spanning the distinct engine paths: plain rotation, fetch
-#: gating, flush/refetch, and predictor-driven MLP-aware gating.
-GOLDEN_POLICIES = ("icount", "stall", "flush", "mlp_stall")
+#: gating (detected and front-end-predicted), flush/refetch,
+#: predictor-driven MLP-aware gating and flushing, and the DCRA
+#: dispatch-cap (``can_dispatch``) path, plain and MLP-weighted.  This is
+#: the full paper policy set, so no policy-side hot path can be touched
+#: without a golden cell noticing.
+GOLDEN_POLICIES = ("icount", "stall", "pred_stall", "flush", "mlp_stall",
+                   "mlp_flush", "dcra", "mlp_dcra")
 
 #: Runahead rides on :class:`repro.runahead.RunaheadCore`, which keeps
 #: its own generic commit/dispatch loops (and the self-contained
@@ -97,11 +108,45 @@ def collect_golden() -> dict:
     }
 
 
+def check_fixture_schema(path: Path) -> None:
+    """Refuse to touch a fixture stamped with a different schema.
+
+    A schema mismatch means this checkout and the committed fixture
+    disagree about what the golden numbers mean; silently regenerating
+    (or comparing) across that boundary would launder a semantic change
+    into a "baseline refresh".  Raises :class:`ValueError` with the two
+    schema stamps; an unreadable file raises too (a corrupt fixture is
+    not a license to overwrite it).
+    """
+    if not path.exists():
+        return
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is not valid JSON ({exc}); inspect or delete it "
+            f"before regenerating") from None
+    found = doc.get("schema") if isinstance(doc, dict) else None
+    if found != GOLDEN_SCHEMA:
+        raise ValueError(
+            f"{path} is stamped {found!r} but this checkout expects "
+            f"{GOLDEN_SCHEMA!r}; re-run with --force only if the schema "
+            f"change is intentional")
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    force = "--force" in argv
+    argv = [a for a in argv if a != "--force"]
     out = Path(argv[0]) if argv else (
         Path(__file__).resolve().parents[3] / "tests" / "golden"
         / "golden_stats.json")
+    if not force:
+        try:
+            check_fixture_schema(out)
+        except ValueError as exc:
+            print(f"refusing to regenerate: {exc}", file=sys.stderr)
+            return 1
     out.parent.mkdir(parents=True, exist_ok=True)
     doc = collect_golden()
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -12,8 +12,8 @@ measurements are compared.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+import time
 
 from repro.perf.scenarios import CANONICAL_SCENARIOS, Scenario, run_scenario
 

@@ -69,6 +69,14 @@ CANONICAL_SCENARIOS: tuple[Scenario, ...] = (
     Scenario("smt4_mlp_stall", ("mgrid", "vortex", "swim", "twolf"),
              "mlp_stall",
              commits=8_000, warmup=2_000, quick_commits=2_000),
+    # 8-thread stress cell: twice the paper's largest configuration, on
+    # the headline flush policy, so thread-count-scaling costs (fetch
+    # selection, rotation scans, flush/refetch) have nowhere to hide.
+    Scenario("smt8_mlp_flush_stress",
+             ("mcf", "swim", "mgrid", "vortex", "twolf", "equake",
+              "art", "lucas"),
+             "mlp_flush",
+             commits=5_000, warmup=1_500, quick_commits=1_200),
 )
 
 #: The headline scenario for speedup claims.

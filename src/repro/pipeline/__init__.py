@@ -1,8 +1,8 @@
 """The cycle-level out-of-order SMT pipeline (the SMTSIM substitute)."""
 
+from repro.pipeline.core import SMTCore
 from repro.pipeline.dyninstr import DynInstr
 from repro.pipeline.stats import CoreStats, ThreadStats
 from repro.pipeline.thread_state import ThreadState
-from repro.pipeline.core import SMTCore
 
 __all__ = ["CoreStats", "DynInstr", "SMTCore", "ThreadState", "ThreadStats"]

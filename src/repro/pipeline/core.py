@@ -23,15 +23,22 @@ committable instruction) by jumping to the next scheduled event; tests
 verify cycle-exact equivalence with the naive loop.
 
 Implementation notes (perf): this file is the simulator's hot loop — every
-experiment bottoms out in :meth:`SMTCore.step`.  The stage methods hoist
-attribute lookups and bound methods into locals, per-op tuples replace the
-enum-keyed ISA dicts, config limits are snapshotted onto the core at
-construction (``SMTConfig`` is frozen, so they cannot drift), branch-stall
-cycles are accounted event-wise instead of by a per-cycle all-threads scan,
-and the fast-forward probe asks the policy a boolean ``fetch_pending``
-question instead of materializing a sorted fetch order twice per cycle.
-The golden-stats matrix (``tests/test_golden_stats.py``) pins this
-machinery to the pre-optimization core cycle-for-cycle.
+experiment bottoms out in :meth:`SMTCore.step` (or its fused copy inside
+:meth:`SMTCore._run_until`).  Beyond the usual local/bound-method hoists,
+per-op tables and config snapshotting, the engine is *event-driven where
+the original was per-cycle*: fetch eligibility lives in an incrementally
+maintained candidate list updated only on stall/unstall transitions
+(``ThreadState._sync_policy_stall``), branch- and policy-stall cycles are
+accounted as wait intervals, dispatch latches rejected heads against a
+resource-release epoch and head-ready times, the commit stage runs behind
+a completion-driven gate, whole-stage wake latches skip provably idle
+fetch/dispatch cycles, and retired ``DynInstr`` records are pool-recycled
+under explicit reference accounting.  Several bodies are deliberately
+duplicated for speed (``step``/the fused loop, ``_commit``/``_commit_one``,
+``_dispatch``/``_try_dispatch``, ``_complete``/its inlined copies) — keep
+them in sync; the golden-stats matrix (``tests/test_golden_stats.py``,
+{1,2,4} threads x all eight paper policies plus runahead) pins every copy
+to the pre-optimization core cycle-for-cycle.
 """
 
 from __future__ import annotations
@@ -52,6 +59,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.workloads.trace import SyntheticTrace
 
 
+#: Upper bound on pooled DynInstr records; enough to absorb the live
+#: population of the largest configured window plus fetch queues.
+_DI_POOL_CAP = 4096
+
+
 class SimulationDeadlock(RuntimeError):
     """Raised when no future event can ever change pipeline state."""
 
@@ -63,6 +75,34 @@ class SimulationLimitExceeded(RuntimeError):
 class SMTCore:
     """One simulated SMT processor instance (single run, single workload)."""
 
+    # The hot loop reads dozens of core attributes per cycle; with ~55
+    # instance attributes the CPython inline-values optimization does not
+    # hold, so slots keep every ``self.X`` a fixed-offset load.  The
+    # trailing ``__dict__`` keeps ad-hoc attribute assignment (tests spy
+    # by monkeypatching instance methods) working.
+    __slots__ = (
+        "cfg", "hierarchy", "threads", "policy", "gshare", "btb", "cycle",
+        "_gseq", "_events", "_detects", "_ready", "_ready_by_op",
+        "_ready_int", "_ready_ldst", "_ready_fp",
+        "_num_int_alu", "_num_ldst", "_num_fp", "_wb",
+        "rob_used", "lsq_used", "iq_used", "fq_used",
+        "int_regs_used", "fp_regs_used",
+        "_fe_capacity", "stats", "_line_shift", "_measure_start",
+        "_track_ll_dep", "_rob_size", "_lsq_size", "_int_iq_size",
+        "_fp_iq_size", "_int_rename_regs", "_fp_rename_regs",
+        "_commit_width", "_decode_width", "_fetch_width",
+        "_fetch_max_threads", "_frontend_depth", "_wb_entries",
+        "_fast_forward", "_rotations", "_fetch_candidates",
+        "_release_epoch", "_committed_watermark", "_commit_pending",
+        "_di_pool", "_policy_fetch_order", "_policy_fetch_pending",
+        "_policy_can_dispatch", "_policy_on_fetch", "_policy_on_fetch_load",
+        "_policy_on_load_complete", "_commit_stage", "_dispatch_stage",
+        "_issue_stage", "_complete_is_base",
+        "_hier_load", "_hier_ifetch", "_hier_store", "_n_threads",
+        "_fetch_wake", "_fetch_order_is_base", "_dispatch_wake",
+        "__dict__",
+    )
+
     def __init__(self, cfg: SMTConfig, traces: list["SyntheticTrace"],
                  policy: "FetchPolicy",
                  hierarchy: MemoryHierarchy | None = None):
@@ -71,6 +111,11 @@ class SMTCore:
                 f"expected {cfg.num_threads} traces, got {len(traces)}")
         self.cfg = cfg
         self.hierarchy = hierarchy or MemoryHierarchy(cfg.memory)
+        # Hot hierarchy entry points as single-hop bound methods.
+        self._hier_load = self.hierarchy.load
+        self._hier_ifetch = self.hierarchy.ifetch
+        self._hier_store = self.hierarchy.store
+        self._n_threads = cfg.num_threads
         self.threads = tuple(ThreadState(tid, trace, cfg)
                              for tid, trace in enumerate(traces))
         self.policy = policy
@@ -132,11 +177,80 @@ class SMTCore:
         self._rotations = tuple(
             tuple(self.threads[(s + i) % n] for i in range(n))
             for s in range(n))
+        # Event-maintained fetch-eligibility structure: the policy-unstalled
+        # threads in tid order, re-derived only on stall/unstall transitions
+        # (ThreadState._sync_policy_stall) instead of per cycle.  An empty
+        # list means every thread is policy-stalled (the COT case).
+        for ts in self.threads:
+            ts.core = self
+        self._fetch_candidates: list[ThreadState] = list(self.threads)
+        # Shared-resource release epoch: bumped whenever any shared counter
+        # (ROB/LSQ/IQ/regs) *decreases*.  The dispatch stage latches a
+        # head rejected by a resource gate against the epoch and re-asserts
+        # the rejection without re-proving it while the epoch is unchanged.
+        self._release_epoch = 0
+        # Highest per-thread committed count this measurement phase; lets
+        # the run loop stop-check in O(1) instead of scanning every thread
+        # every cycle.
+        self._committed_watermark = 0
+        # Event-driven commit gate: set by _complete (a completed record
+        # may be or become a ROB head) and kept set by _commit while a
+        # budget-limited pass or a write-buffer-blocked store head could
+        # still make progress; cleared only when a full pass proves every
+        # head is absent or incomplete.  RunaheadCore never clears it —
+        # its commit stage can make progress on incomplete heads.
+        self._commit_pending = False
+        # Retired-DynInstr free list (None disables pooling — RunaheadCore
+        # opts out because INV/pseudo-retire state can outlive commit).
+        self._di_pool: list[DynInstr] | None = []
         policy.attach(self)
         # Bound-method hoists for the two policy calls made every cycle.
         # The policy is attached exactly once, at construction.
         self._policy_fetch_order = policy.fetch_order
         self._policy_fetch_pending = policy.fetch_pending
+        # Per-instruction hooks elided when the policy keeps the marked
+        # no-op defaults (None means "skip the call").
+        cls = type(policy)
+        self._policy_can_dispatch = (
+            None if getattr(cls.can_dispatch, "_is_default_hook", False)
+            else policy.can_dispatch)
+        fetch_hook = (
+            None if getattr(cls.on_fetch, "_is_default_hook", False)
+            else policy.on_fetch)
+        if fetch_hook is not None and cls.on_fetch_loads_only:
+            # The policy declares its hook a no-op for non-loads: route
+            # it to the loads-only call site in _fetch_thread.
+            self._policy_on_fetch = None
+            self._policy_on_fetch_load = fetch_hook
+        else:
+            self._policy_on_fetch = fetch_hook
+            self._policy_on_fetch_load = None
+        self._policy_on_load_complete = (
+            None if getattr(cls.on_load_complete, "_is_default_hook", False)
+            else policy.on_load_complete)
+        # Stage methods bound once (subclass overrides resolve here); saves
+        # a method lookup per stage per cycle in step().
+        self._commit_stage = self._commit
+        self._dispatch_stage = self._dispatch
+        self._issue_stage = self._issue
+        # step() inlines the completion-event loop only when _complete is
+        # not overridden (RunaheadCore adds exit-runahead handling there).
+        self._complete_is_base = type(self)._complete is SMTCore._complete
+        # Fetch-wake latch: earliest cycle fetch_order could be non-empty
+        # again after returning empty (0 = probe every cycle).  Armed only
+        # for the marked base eligibility rules; disarmed (reset to 0) by
+        # branch resolution, front-end pops, flushes and candidate
+        # rebuilds — the only non-time-bound eligibility changes.
+        self._fetch_wake = 0
+        self._fetch_order_is_base = (
+            getattr(cls.fetch_order, "_is_base_impl", False)
+            and getattr(cls.fetch_pending, "_is_base_impl", False))
+        # Dispatch-wake latch: armed by the base dispatch stage when a
+        # full pass saw no ready head anywhere (so no resource-stall
+        # accounting can be owed) — the stage call is skipped until the
+        # earliest observed head-ready time, a fetch into an empty queue,
+        # or a flush.
+        self._dispatch_wake = 0
 
     # ------------------------------------------------------------------ #
     # top-level driving
@@ -156,44 +270,151 @@ class SMTCore:
             try:
                 self._run_until(warmup, max_cycles)
             finally:
-                self._settle_branch_stalls()
+                self._settle_stall_accounting()
             self.reset_measurement()
         try:
             self._run_until(max_commits, max_cycles)
         finally:
-            self._settle_branch_stalls()
+            self._settle_stall_accounting()
         self.stats.cycles = self.cycle - self._measure_start
         self.stats.ll_intervals = self.hierarchy.ll_intervals
         return self.stats
 
     def _run_until(self, max_commits: int, max_cycles: int | None) -> None:
         limit = max_cycles if max_cycles is not None else self.cfg.max_cycles
-        # ``reset_measurement`` swaps the ThreadStats objects only between
-        # _run_until phases, so the commit counters can be hoisted here.
-        stats_list = [ts.stats for ts in self.threads]
-        step = self.step
-        while True:
-            step()
-            for st in stats_list:
-                if st.committed >= max_commits:
+        # The commit watermark is maintained by the commit stage and reset
+        # with the measurement phase, so the stop check is O(1) per cycle
+        # instead of a per-thread scan.
+        if type(self).step is not SMTCore.step or not self._complete_is_base:
+            # A subclass changed per-cycle behavior: drive it generically.
+            step = self.step
+            while True:
+                step()
+                if self._committed_watermark >= max_commits:
                     return
-            if self.cycle >= limit:
+                if self.cycle >= limit:
+                    raise SimulationLimitExceeded(
+                        f"exceeded {limit} cycles without reaching "
+                        f"{max_commits} commits")
+        # step(), fused into the driving loop so the run-lifetime
+        # invariants (event/ready/write-buffer structures, stage bindings,
+        # policy hooks, fetch limits) are hoisted once per run instead of
+        # re-read every cycle.  This is the third copy of the cycle body
+        # (step() and _complete() remain the canonical, overridable
+        # forms); the golden-stats matrix pins all of them to identical
+        # architectural behavior.  Keep them in sync.
+        events = self._events
+        detects = self._detects
+        wb = self._wb
+        ready_int = self._ready_int
+        ready_ldst = self._ready_ldst
+        ready_fp = self._ready_fp
+        ready_by_op = self._ready_by_op
+        threads = self.threads
+        commit_stage = self._commit_stage
+        dispatch_stage = self._dispatch_stage
+        issue_stage = self._issue_stage
+        fetch_thread = self._fetch_thread
+        next_cycle = self._next_cycle
+        policy_fetch_order = self._policy_fetch_order
+        policy_fetch_pending = self._policy_fetch_pending
+        on_load_complete = self._policy_on_load_complete
+        on_ll_detect = self.policy.on_ll_detect
+        fetch_width = self._fetch_width
+        fetch_max_threads = self._fetch_max_threads
+        fast_forward = self._fast_forward
+        fetch_order_is_base = self._fetch_order_is_base
+        while True:
+            cycle = self.cycle
+            if events and events[0][0] <= cycle:
+                # completion loop — keep in sync with step()/_complete()
+                while events and events[0][0] <= cycle:
+                    _, _, di = heappop(events)
+                    ts = threads[di.thread]
+                    if di.is_load and di.pending == -1:
+                        ts.outstanding_misses -= 1
+                    if di.squashed:
+                        continue
+                    di.completed = True
+                    self._commit_pending = True
+                    waiters = di.waiters
+                    if waiters:
+                        for w in waiters:
+                            w.pending -= 1
+                            if (w.pending == 0 and not w.squashed
+                                    and w.in_iq and not w.issued):
+                                heappush(ready_by_op[w.instr.op_i],
+                                         (w.gseq, w))
+                        di.waiters = None
+                    if di.is_branch and ts.waiting_branch is di:
+                        ts.waiting_branch = None
+                        ts.stats.branch_stall_cycles += \
+                            cycle - ts.branch_wait_since
+                        if ts.fetch_blocked_until < cycle + 1:
+                            ts.fetch_blocked_until = cycle + 1
+                        self._fetch_wake = 0
+                    if di.is_load and on_load_complete is not None:
+                        on_load_complete(di, ts)
+            if detects and detects[0][0] <= cycle:
+                while detects and detects[0][0] <= cycle:
+                    _, _, di = heappop(detects)
+                    di.in_detects = False
+                    if di.squashed or di.completed:
+                        continue
+                    on_ll_detect(di, threads[di.thread])
+            while wb and wb[0] <= cycle:
+                heappop(wb)
+            if self._commit_pending:
+                commit_stage(cycle)
+            if ready_int or ready_ldst or ready_fp:
+                issue_stage(cycle)
+            if cycle >= self._dispatch_wake:
+                dispatch_stage(cycle)
+            if cycle >= self._fetch_wake:
+                order = policy_fetch_order(cycle)
+                if order:
+                    budget = fetch_width
+                    remaining_threads = fetch_max_threads
+                    for ts, ignore_stall in order:
+                        if remaining_threads == 0 or budget == 0:
+                            break
+                        remaining_threads -= 1
+                        budget -= fetch_thread(ts, budget, cycle,
+                                               ignore_stall)
+                elif fetch_order_is_base:
+                    self._fetch_wake = self._compute_fetch_wake(cycle)
+            nxt = cycle + 1
+            if not fast_forward:
+                self.cycle = nxt
+            elif (ready_int or ready_ldst or ready_fp
+                    or (nxt >= self._fetch_wake
+                        and policy_fetch_pending(nxt))):
+                self.cycle = nxt
+            else:
+                self.cycle = nxt = next_cycle(cycle)
+            if self._committed_watermark >= max_commits:
+                return
+            if nxt >= limit:
                 raise SimulationLimitExceeded(
                     f"exceeded {limit} cycles without reaching "
                     f"{max_commits} commits")
 
-    def _settle_branch_stalls(self) -> None:
-        """Credit the still-open branch-wait intervals up to ``cycle``.
+    def _settle_stall_accounting(self) -> None:
+        """Credit the still-open branch/policy-wait intervals up to ``cycle``.
 
-        Branch-stall cycles are accounted at wait *end* (resolve, squash);
-        a run that stops mid-wait settles the open tail here so the total
-        matches the per-cycle scan it replaced, cycle for cycle.
+        Branch-stall and policy-stall cycles are accounted at wait *end*
+        (resolve, squash, unstall); a run that stops mid-wait settles the
+        open tails here so the totals match the per-cycle scans they
+        replaced, cycle for cycle.
         """
         cycle = self.cycle
         for ts in self.threads:
             if ts.waiting_branch is not None:
                 ts.stats.branch_stall_cycles += cycle - ts.branch_wait_since
                 ts.branch_wait_since = cycle
+            if ts.policy_stalled_flag:
+                ts.stats.policy_stall_cycles += cycle - ts.policy_stall_since
+                ts.policy_stall_since = cycle
 
     def reset_measurement(self) -> None:
         """Zero all statistics while keeping microarchitectural state warm.
@@ -214,6 +435,9 @@ class SMTCore:
                 # The open branch wait straddles the measurement boundary;
                 # only its measured-phase tail may count.
                 ts.branch_wait_since = self.cycle
+            if ts.policy_stalled_flag:
+                # Same for an open policy stall.
+                ts.policy_stall_since = self.cycle
             # The LLSR's register stays warm but its *sample log* is
             # measurement state: cold-start compulsory misses would
             # otherwise pollute the Figure 4 distance distribution.
@@ -226,6 +450,7 @@ class SMTCore:
         hierarchy.demand_loads = 0
         hierarchy.merged_loads = 0
         hierarchy.prefetch_covered = 0
+        self._committed_watermark = 0
         self._measure_start = self.cycle
 
     def step(self) -> None:
@@ -235,36 +460,87 @@ class SMTCore:
         detects = self._detects
         if (events and events[0][0] <= cycle) or (
                 detects and detects[0][0] <= cycle):
-            self._process_events(cycle)
+            if not self._complete_is_base:
+                self._process_events(cycle)
+            else:
+                # _process_events/_complete, inlined (the completion loop
+                # runs nearly every active cycle and the two calls per
+                # event were measurable).  Keep in sync with _complete.
+                if events and events[0][0] <= cycle:
+                    threads = self.threads
+                    on_load_complete = self._policy_on_load_complete
+                    while events and events[0][0] <= cycle:
+                        _, _, di = heappop(events)
+                        ts = threads[di.thread]
+                        if di.is_load and di.pending == -1:
+                            ts.outstanding_misses -= 1
+                        if di.squashed:
+                            continue
+                        di.completed = True
+                        self._commit_pending = True
+                        waiters = di.waiters
+                        if waiters:
+                            ready_by_op = self._ready_by_op
+                            for w in waiters:
+                                w.pending -= 1
+                                if (w.pending == 0 and not w.squashed
+                                        and w.in_iq and not w.issued):
+                                    heappush(ready_by_op[w.instr.op_i],
+                                             (w.gseq, w))
+                            di.waiters = None
+                        if di.is_branch and ts.waiting_branch is di:
+                            ts.waiting_branch = None
+                            ts.stats.branch_stall_cycles += \
+                                cycle - ts.branch_wait_since
+                            if ts.fetch_blocked_until < cycle + 1:
+                                ts.fetch_blocked_until = cycle + 1
+                            self._fetch_wake = 0
+                        if di.is_load and on_load_complete is not None:
+                            on_load_complete(di, ts)
+                if detects and detects[0][0] <= cycle:
+                    on_ll_detect = self.policy.on_ll_detect
+                    threads = self.threads
+                    while detects and detects[0][0] <= cycle:
+                        _, _, di = heappop(detects)
+                        di.in_detects = False
+                        if di.squashed or di.completed:
+                            continue
+                        on_ll_detect(di, threads[di.thread])
         wb = self._wb   # drain the write buffer
         while wb and wb[0] <= cycle:
             heappop(wb)
-        self._commit(cycle)
+        if self._commit_pending:
+            self._commit_stage(cycle)
         if self._ready_int or self._ready_ldst or self._ready_fp:
-            self._issue(cycle)
-        self._dispatch(cycle)
+            self._issue_stage(cycle)
+        if cycle >= self._dispatch_wake:
+            self._dispatch_stage(cycle)
         # fetch (inlined driver; _fetch_thread does the per-thread work)
-        order = self._policy_fetch_order(cycle)
-        if order:
-            budget = self._fetch_width
-            remaining_threads = self._fetch_max_threads
-            fetch_thread = self._fetch_thread
-            for ts, ignore_stall in order:
-                if remaining_threads == 0 or budget == 0:
-                    break
-                remaining_threads -= 1
-                budget -= fetch_thread(ts, budget, cycle, ignore_stall)
-        for ts in self.threads:
-            allowed_end = ts.allowed_end
-            if allowed_end is not None and ts.fetch_index > allowed_end:
-                ts.stats.policy_stall_cycles += 1
+        if cycle >= self._fetch_wake:
+            order = self._policy_fetch_order(cycle)
+            if order:
+                budget = self._fetch_width
+                remaining_threads = self._fetch_max_threads
+                fetch_thread = self._fetch_thread
+                for ts, ignore_stall in order:
+                    if remaining_threads == 0 or budget == 0:
+                        break
+                    remaining_threads -= 1
+                    budget -= fetch_thread(ts, budget, cycle, ignore_stall)
+            elif self._fetch_order_is_base:
+                self._fetch_wake = self._compute_fetch_wake(cycle)
+        # (policy-stall cycles are accounted as stall intervals by
+        # ThreadState._sync_policy_stall / _settle_stall_accounting, not by
+        # an all-threads scan here.)
         nxt = cycle + 1
         if self._fast_forward:
-            # Fast path of the fast-forward probe: if next cycle can fetch
-            # or issue, there is nothing to skip and no need to build the
-            # candidate list in _next_cycle.
-            if (self._policy_fetch_pending(nxt) or self._ready_int
-                    or self._ready_ldst or self._ready_fp):
+            # Fast path of the fast-forward probe: if next cycle can issue
+            # or fetch, there is nothing to skip and no need to build the
+            # candidate list in _next_cycle.  Ready-queue checks come
+            # first — three slot loads against a policy call.
+            if (self._ready_int or self._ready_ldst or self._ready_fp
+                    or (nxt >= self._fetch_wake
+                        and self._policy_fetch_pending(nxt))):
                 self.cycle = nxt
             else:
                 self.cycle = self._next_cycle(cycle)
@@ -288,6 +564,7 @@ class SMTCore:
             threads = self.threads
             while detects and detects[0][0] <= cycle:
                 _, _, di = heappop(detects)
+                di.in_detects = False
                 if di.squashed or di.completed:
                     continue
                 on_ll_detect(di, threads[di.thread])
@@ -299,61 +576,135 @@ class SMTCore:
         if di.squashed:
             return
         di.completed = True
-        di.complete_cycle = cycle
+        self._commit_pending = True
         waiters = di.waiters
         if waiters:
             ready_by_op = self._ready_by_op
             for w in waiters:
                 w.pending -= 1
                 if w.pending == 0 and not w.squashed and w.in_iq and not w.issued:
-                    heappush(ready_by_op[w.instr.op], (w.gseq, w))
+                    heappush(ready_by_op[w.instr.op_i], (w.gseq, w))
             di.waiters = None
         if di.is_branch and ts.waiting_branch is di:
             ts.waiting_branch = None
             ts.stats.branch_stall_cycles += cycle - ts.branch_wait_since
             if ts.fetch_blocked_until < cycle + 1:
                 ts.fetch_blocked_until = cycle + 1
+            self._fetch_wake = 0
         if di.is_load:
-            self.policy.on_load_complete(di, ts)
+            on_load_complete = self._policy_on_load_complete
+            if on_load_complete is not None:
+                on_load_complete(di, ts)
 
     # ------------------------------------------------------------------ #
     # commit
     # ------------------------------------------------------------------ #
 
     def _commit(self, cycle: int) -> None:
-        # The inlined head checks (window non-empty, head completed) repeat
-        # _commit_one's first two rejects so the common nothing-committable
-        # cycle costs no method call.  RunaheadCore overrides _commit with
-        # the plain rotation loop: its _commit_one can make progress on
-        # heads these checks would skip (runahead entry, pseudo-retire).
+        # The full _commit_one body runs inline: every instruction retires
+        # through this loop, and the method call per commit plus the
+        # re-hoisting of shared state per attempt was measurable.
+        # _commit_one remains the overridable, self-contained form;
+        # RunaheadCore overrides _commit with the plain rotation loop
+        # because its _commit_one can make progress on heads the inline
+        # checks would skip (runahead entry, pseudo-retire).  Keep the two
+        # bodies in sync.
         threads = self.threads
-        n = len(threads)
+        n = self._n_threads
         budget = self._commit_width
-        commit_one = self._commit_one
-        if n == 1:
-            ts = threads[0]
-            window = ts.window
-            while budget > 0 and window:
-                if not window[0].completed or not commit_one(ts, cycle):
-                    break
-                budget -= 1
-            return
         # Rotate by cycle number (not by call count) so fast-forwarded and
         # naive runs stay cycle-exact.
-        order = self._rotations[cycle % n]
+        order = threads if n == 1 else self._rotations[cycle % n]
+        wb = self._wb
+        wb_entries = self._wb_entries
+        pool = self._di_pool
+        measure_start = self._measure_start
+        wb_blocked = False
+        # A thread's head only changes when that thread commits, so after
+        # the first full rotation pass only the threads that committed
+        # need re-checking; everything else would reject for the same
+        # reason it just did.
+        current = order
         while budget > 0:
-            progress = False
-            for ts in order:
+            recheck = None
+            for ts in current:
                 if budget == 0:
                     break
                 window = ts.window
-                if not window or not window[0].completed:
+                if not window:
                     continue
-                if commit_one(ts, cycle):
-                    budget -= 1
-                    progress = True
-            if not progress:
+                di = window[0]
+                if not di.completed:
+                    continue
+                instr = di.instr
+                if di.is_store:
+                    if len(wb) >= wb_entries:
+                        wb_blocked = True
+                        continue
+                    result = self._hier_store(ts.tid, instr.pc,
+                                              instr.addr, cycle)
+                    heappush(wb, result.complete_cycle)
+                window.popleft()
+                ts.rob_count -= 1
+                self.rob_used -= 1
+                if di.is_load or di.is_store:
+                    ts.lsq_count -= 1
+                    self.lsq_used -= 1
+                if di.has_dest:
+                    if di.dest_fp:
+                        ts.fp_regs -= 1
+                        self.fp_regs_used -= 1
+                    else:
+                        ts.int_regs -= 1
+                        self.int_regs_used -= 1
+                self._release_epoch += 1
+                st = ts.stats
+                committed = st.committed + 1
+                st.committed = committed
+                if committed > self._committed_watermark:
+                    self._committed_watermark = committed
+                if ts.commit_cycles is not None:
+                    ts.commit_cycles.append(cycle - measure_start)
+                dependent = False
+                parents = di.ll_parents
+                if parents is not None:
+                    dependent = any(p.is_ll or p.ll_dep for p in parents)
+                    di.ll_dep = dependent
+                    di.ll_parents = None
+                    for p in parents:
+                        p.refs -= 1
+                        if (p.retired and not p.refs and pool is not None
+                                and len(pool) < _DI_POOL_CAP
+                                and not p.in_detects
+                                and p not in ts.ll_owners):
+                            pool.append(p)
+                ts.llsr_commit(di.is_load and di.is_ll, instr.pc, dependent)
+                old = di.old_map
+                if old is not None:
+                    di.old_map = None
+                    old.refs -= 1
+                    if (old.retired and not old.refs and pool is not None
+                            and len(pool) < _DI_POOL_CAP
+                            and not old.in_detects
+                            and old not in ts.ll_owners):
+                        pool.append(old)
+                di.retired = True
+                if (not di.refs and pool is not None
+                        and len(pool) < _DI_POOL_CAP and not di.in_detects
+                        and di not in ts.ll_owners):
+                    pool.append(di)
+                budget -= 1
+                if recheck is None:
+                    recheck = [ts]
+                else:
+                    recheck.append(ts)
+            if recheck is None:
                 break
+            current = recheck
+        # Keep the gate set while leftover progress is possible: a
+        # budget-limited pass may have left committable heads, and a
+        # write-buffer-blocked store unblocks by time, not by an event.
+        self._commit_pending = budget == 0 or wb_blocked
 
     def _commit_one(self, ts: ThreadState, cycle: int) -> bool:
         window = ts.window
@@ -382,7 +733,12 @@ class SMTCore:
             else:
                 ts.int_regs -= 1
                 self.int_regs_used -= 1
-        ts.stats.committed += 1
+        self._release_epoch += 1
+        st = ts.stats
+        committed = st.committed + 1
+        st.committed = committed
+        if committed > self._committed_watermark:
+            self._committed_watermark = committed
         if ts.commit_cycles is not None:
             ts.commit_cycles.append(cycle - self._measure_start)
         dependent = False
@@ -393,9 +749,42 @@ class SMTCore:
             dependent = any(p.is_ll or p.ll_dep for p in parents)
             di.ll_dep = dependent
             di.ll_parents = None
+            for p in parents:
+                p.refs -= 1
+                if p.retired and not p.refs:
+                    self._maybe_recycle(p, ts)
         ts.llsr.commit(di.is_load and di.is_ll, instr.pc,
                        dependent=dependent)
+        # Retire the record.  The rename-undo backref it held dies with
+        # the commit (a committed instruction can never be flushed), and
+        # the record itself returns to the pool once nothing long-lived
+        # (rename-current entry, a younger old_map, captured ll_parents)
+        # still points at it — usually via the backref decrement of the
+        # next same-register writer's commit.
+        old = di.old_map
+        if old is not None:
+            di.old_map = None
+            old.refs -= 1
+            if old.retired and not old.refs:
+                self._maybe_recycle(old, ts)
+        di.retired = True
+        if not di.refs:
+            self._maybe_recycle(di, ts)
         return True
+
+    def _maybe_recycle(self, di: DynInstr, ts: ThreadState) -> None:
+        """Return a retired, unreferenced instruction record to the pool.
+
+        Callers guarantee ``di.retired and di.refs == 0``; the remaining
+        guards exclude the rare records with a still-queued long-latency
+        detection event or a live fetch-gating ownership (both keyed on
+        object identity, so reuse would alias them).  Records that fail a
+        guard are simply left to the garbage collector.
+        """
+        pool = self._di_pool
+        if (pool is not None and len(pool) < _DI_POOL_CAP
+                and not di.in_detects and di not in ts.ll_owners):
+            pool.append(di)
 
     # ------------------------------------------------------------------ #
     # issue / execute
@@ -406,6 +795,7 @@ class SMTCore:
         # on purpose: RunaheadCore overrides it, and tests monkeypatch it
         # on instances to spy on the issue stream.
         execute = self._execute
+        issued = False
         queue = self._ready_int
         if queue:
             slots = self._num_int_alu
@@ -415,6 +805,7 @@ class SMTCore:
                     continue
                 execute(di, cycle)
                 slots -= 1
+                issued = True
         queue = self._ready_ldst
         if queue:
             slots = self._num_ldst
@@ -424,6 +815,7 @@ class SMTCore:
                     continue
                 execute(di, cycle)
                 slots -= 1
+                issued = True
         queue = self._ready_fp
         if queue:
             slots = self._num_fp
@@ -433,6 +825,11 @@ class SMTCore:
                     continue
                 execute(di, cycle)
                 slots -= 1
+                issued = True
+        if issued:
+            # Issuing freed IQ slots (every executed instruction held one):
+            # one epoch bump covers the whole stage.
+            self._release_epoch += 1
 
     def _execute(self, di: DynInstr, cycle: int) -> None:
         ts = self.threads[di.thread]
@@ -446,11 +843,13 @@ class SMTCore:
                 ts.iq_count -= 1
                 self.iq_used -= 1
             ts.icount -= 1
+            # (the release-epoch bump for the IQ slot is batched at the
+            # end of _issue — nothing reads the epoch mid-issue.)
         instr = di.instr
-        op = instr.op
+        op_i = instr.op_i
         if di.is_load:
-            result = self.hierarchy.load(
-                ts.tid, instr.pc, instr.addr, cycle + EXEC_LATENCY_BY_OP[op])
+            result = self._hier_load(
+                ts.tid, instr.pc, instr.addr, cycle + EXEC_LATENCY_BY_OP[op_i])
             completion = result.complete_cycle
             is_ll = result.long_latency
             di.is_ll = is_ll
@@ -470,6 +869,7 @@ class SMTCore:
             if is_ll:
                 stats.ll_loads += 1
             if result.trigger:
+                di.in_detects = True
                 heappush(self._detects,
                          (result.detect_cycle, di.gseq, di))
             di.fill_line = result.fill_line
@@ -477,7 +877,7 @@ class SMTCore:
                 ts.outstanding_misses += 1
                 di.pending = -1  # marks "counted as outstanding miss"
         else:
-            completion = cycle + EXEC_LATENCY_BY_OP[op]
+            completion = cycle + EXEC_LATENCY_BY_OP[op_i]
         heappush(self._events, (completion, di.gseq, di))
 
     # ------------------------------------------------------------------ #
@@ -493,73 +893,149 @@ class SMTCore:
         # overridable/self-contained form; RunaheadCore overrides
         # _dispatch with the plain per-attempt loop because its
         # _try_dispatch must observe every attempt to propagate INV.
+        #
+        # A head rejected by a *shared-resource* gate is latched against
+        # the release epoch: with the same head and no release since, the
+        # same gate must fail again (shared counters only grew), so the
+        # rejection is re-asserted without re-proving it.  Policy-cap
+        # rejections (can_dispatch) are never latched — their verdict may
+        # change with any co-runner state.
         budget = self._decode_width
         any_ready = False
         blocked_by_resource = False
         dispatched = 0
-        n = len(self.threads)
-        # The gates below read self._* limits lazily (at most one read per
-        # rejected attempt) rather than hoisting them all up front: most
-        # cycles either dispatch nothing or reject on the first gate, so
-        # an eager 10-local prologue would dominate the stage's cost.
+        n = self._n_threads
+        release_epoch = self._release_epoch
+        hoisted = False
         for ts in self._rotations[(cycle + 1) % n]:  # offset from commit
             if budget == 0:
                 break
+            if cycle < ts.dispatch_wait_until:
+                continue  # head not through the front end yet
             fe = ts.fe_queue
+            if not fe:
+                continue
+            head = fe[0]
+            if head is ts.dispatch_blocked_head:
+                if ts.dispatch_blocked_epoch == release_epoch:
+                    any_ready = True
+                    blocked_by_resource = True
+                    continue
+                ts.dispatch_blocked_head = None
+            if head.fe_ready > cycle:
+                ts.dispatch_wait_until = head.fe_ready
+                continue
+            if not hoisted:
+                hoisted = True
+                # Shared counters as locals for the whole stage: nothing
+                # between individual dispatches observes them
+                # (can_dispatch reads only per-thread counts), so batching
+                # the read-modify-writes is observationally identical;
+                # they are written back before the resource-stall hook,
+                # which may flush.  Hoisted lazily: most cycles skip every
+                # thread and would waste the nine-local prologue.
+                rob_used = self.rob_used
+                lsq_used = self.lsq_used
+                iq_used = self.iq_used
+                fq_used = self.fq_used
+                int_regs_used = self.int_regs_used
+                fp_regs_used = self.fp_regs_used
+                track_dep = self._track_ll_dep
+                can_dispatch = self._policy_can_dispatch  # None: allow-all
+                ready_by_op = self._ready_by_op
+                rob_size = self._rob_size
+                lsq_size = self._lsq_size
+                int_iq_size = self._int_iq_size
+                fp_iq_size = self._fp_iq_size
+                int_rename_regs = self._int_rename_regs
+                fp_rename_regs = self._fp_rename_regs
+                fe_capacity = self._fe_capacity
+            rename_map = ts.rename_map
+            rename_get = rename_map.get
+            window_append = ts.window.append
+            fe_was_full = len(fe) >= fe_capacity
+            # Per-thread counters as locals for this thread's burst;
+            # flushed back before any can_dispatch call (the one consumer
+            # that may read them mid-burst) and at burst end.
+            tl_rob = ts.rob_count
+            tl_lsq = ts.lsq_count
+            tl_iq = ts.iq_count
+            tl_fq = ts.fq_count
+            tl_ir = ts.int_regs
+            tl_fr = ts.fp_regs
+            tl_dirty = False
             while budget > 0 and fe:
                 di = fe[0]
                 if di.fe_ready > cycle:
+                    ts.dispatch_wait_until = di.fe_ready
                     break
                 any_ready = True
                 # Shared-resource gates (block => resource stall).
-                if self.rob_used >= self._rob_size:
+                if rob_used >= rob_size:
+                    ts.dispatch_blocked_head = di
+                    ts.dispatch_blocked_epoch = release_epoch
                     blocked_by_resource = True
                     break
                 instr = di.instr
                 is_mem = di.is_load or di.is_store
-                if is_mem and self.lsq_used >= self._lsq_size:
+                if is_mem and lsq_used >= lsq_size:
+                    ts.dispatch_blocked_head = di
+                    ts.dispatch_blocked_epoch = release_epoch
                     blocked_by_resource = True
                     break
-                op = instr.op
-                fp_queue = op is Op.FALU or op is Op.FMUL
+                fp_queue = instr.fp_queue
                 if fp_queue:
-                    if self.fq_used >= self._fp_iq_size:
+                    if fq_used >= fp_iq_size:
+                        ts.dispatch_blocked_head = di
+                        ts.dispatch_blocked_epoch = release_epoch
                         blocked_by_resource = True
                         break
-                elif self.iq_used >= self._int_iq_size:
+                elif iq_used >= int_iq_size:
+                    ts.dispatch_blocked_head = di
+                    ts.dispatch_blocked_epoch = release_epoch
                     blocked_by_resource = True
                     break
                 if di.has_dest:
                     if di.dest_fp:
-                        if self.fp_regs_used >= self._fp_rename_regs:
+                        if fp_regs_used >= fp_rename_regs:
+                            ts.dispatch_blocked_head = di
+                            ts.dispatch_blocked_epoch = release_epoch
                             blocked_by_resource = True
                             break
-                    elif self.int_regs_used >= self._int_rename_regs:
+                    elif int_regs_used >= int_rename_regs:
+                        ts.dispatch_blocked_head = di
+                        ts.dispatch_blocked_epoch = release_epoch
                         blocked_by_resource = True
                         break
-                if not self.policy.can_dispatch(ts, di):
-                    break  # policy cap, not a resource stall
-                # All checks passed: allocate and rename.
-                self.rob_used += 1
-                ts.rob_count += 1
+                if can_dispatch is not None:
+                    if tl_dirty:
+                        tl_dirty = False
+                        ts.rob_count = tl_rob
+                        ts.lsq_count = tl_lsq
+                        ts.iq_count = tl_iq
+                        ts.fq_count = tl_fq
+                        ts.int_regs = tl_ir
+                        ts.fp_regs = tl_fr
+                    if not can_dispatch(ts, di):
+                        break  # policy cap, not a resource stall
+                # All checks passed: allocate and rename.  (No ``di.inv``
+                # handling here: only RunaheadCore produces INV records,
+                # and it dispatches through _try_dispatch.)
+                rob_used += 1
+                tl_rob += 1
+                tl_dirty = True
                 if is_mem:
-                    self.lsq_used += 1
-                    ts.lsq_count += 1
+                    lsq_used += 1
+                    tl_lsq += 1
                 if fp_queue:
-                    self.fq_used += 1
-                    ts.fq_count += 1
+                    fq_used += 1
+                    tl_fq += 1
                 else:
-                    self.iq_used += 1
-                    ts.iq_count += 1
+                    iq_used += 1
+                    tl_iq += 1
                 di.in_iq = True
                 di.iq_is_fp = fp_queue
-                rename_map = ts.rename_map
-                rename_get = rename_map.get
-                track_dep = self._track_ll_dep
                 parents: list[DynInstr] | None = [] if track_dep else None
-                # Runahead INV instructions carry bogus values: they
-                # neither wait for producers nor execute for real.
-                wait = not di.inv
                 for src in instr.srcs:
                     prod = rename_get(src)
                     if prod is None:
@@ -568,7 +1044,8 @@ class SMTCore:
                                       or prod.ll_parents is not None
                                       or prod.ll_dep):
                         parents.append(prod)
-                    if wait and not prod.completed:
+                        prod.refs += 1
+                    if not prod.completed:
                         di.pending += 1
                         if prod.waiters is None:
                             prod.waiters = [di]
@@ -580,18 +1057,49 @@ class SMTCore:
                     dest = instr.dest
                     di.old_map = rename_get(dest)
                     rename_map[dest] = di
+                    di.refs += 1  # rename-current; the old entry's ref
+                    #              transfers to the old_map backref
                     if di.dest_fp:
-                        self.fp_regs_used += 1
-                        ts.fp_regs += 1
+                        fp_regs_used += 1
+                        tl_fr += 1
                     else:
-                        self.int_regs_used += 1
-                        ts.int_regs += 1
-                ts.window.append(di)
+                        int_regs_used += 1
+                        tl_ir += 1
+                window_append(di)
                 if di.pending == 0:
-                    heappush(self._ready_by_op[op], (di.gseq, di))
+                    heappush(ready_by_op[instr.op_i], (di.gseq, di))
                 fe.popleft()
                 budget -= 1
                 dispatched += 1
+            if tl_dirty:
+                ts.rob_count = tl_rob
+                ts.lsq_count = tl_lsq
+                ts.iq_count = tl_iq
+                ts.fq_count = tl_fq
+                ts.int_regs = tl_ir
+                ts.fp_regs = tl_fr
+            if fe_was_full and len(fe) < fe_capacity:
+                # Pops opened fetch-queue headroom: eligibility changed.
+                self._fetch_wake = 0
+        if dispatched:
+            self.rob_used = rob_used
+            self.lsq_used = lsq_used
+            self.iq_used = iq_used
+            self.fq_used = fq_used
+            self.int_regs_used = int_regs_used
+            self.fp_regs_used = fp_regs_used
+        elif not any_ready and self._policy_can_dispatch is None:
+            # No head anywhere was through the front end: nothing to
+            # dispatch (and no resource-stall cycle to account) before the
+            # earliest observed head-ready time.  Empty queues re-arm via
+            # the fetch stage; a policy with a dispatch cap must be probed
+            # every cycle, so the latch stays disarmed for it.
+            wake = cycle + (1 << 30)
+            for ts in self.threads:
+                wait_until = ts.dispatch_wait_until
+                if cycle < wait_until < wake:
+                    wake = wait_until
+            self._dispatch_wake = wake
         if any_ready and dispatched == 0 and blocked_by_resource:
             self.stats.resource_stall_cycles += 1
             self.policy.on_resource_stall(cycle)
@@ -605,8 +1113,7 @@ class SMTCore:
         is_mem = di.is_load or di.is_store
         if is_mem and self.lsq_used >= self._lsq_size:
             return True
-        op = instr.op
-        fp_queue = op is Op.FALU or op is Op.FMUL
+        fp_queue = instr.fp_queue
         if fp_queue:
             if self.fq_used >= self._fp_iq_size:
                 return True
@@ -648,6 +1155,7 @@ class SMTCore:
             if track_dep and (prod.is_load or prod.ll_parents is not None
                               or prod.ll_dep):
                 parents.append(prod)
+                prod.refs += 1
             if wait and not prod.completed:
                 di.pending += 1
                 if prod.waiters is None:
@@ -660,6 +1168,8 @@ class SMTCore:
             dest = instr.dest
             di.old_map = rename_get(dest)
             rename_map[dest] = di
+            di.refs += 1  # rename-current; the old entry's ref transfers
+            #              to the old_map backref
             if di.dest_fp:
                 self.fp_regs_used += 1
                 ts.fp_regs += 1
@@ -668,7 +1178,7 @@ class SMTCore:
                 ts.int_regs += 1
         ts.window.append(di)
         if di.pending == 0:
-            heappush(self._ready_by_op[op], (di.gseq, di))
+            heappush(self._ready_by_op[instr.op_i], (di.gseq, di))
         return None
 
     # ------------------------------------------------------------------ #
@@ -681,6 +1191,34 @@ class SMTCore:
                 and ts.waiting_branch is None
                 and len(ts.fe_queue) < self._fe_capacity)
 
+    def _rebuild_fetch_candidates(self) -> None:
+        """Re-derive the policy-unstalled thread list (tid order).
+
+        Called by :meth:`ThreadState._sync_policy_stall` on every
+        stall/unstall transition — the only events that change fetch
+        *eligibility* under the ``allowed_end`` mechanism.
+        """
+        self._fetch_candidates = [ts for ts in self.threads
+                                  if not ts.policy_stalled_flag]
+        self._fetch_wake = 0
+
+    def _compute_fetch_wake(self, cycle: int) -> int:
+        """Earliest cycle an empty fetch order could refill by *time*.
+
+        Called right after fetch_order returned empty.  Threads blocked on
+        I-fetch or redirect refill unblock at a known cycle; every other
+        blocker (branch wait, full fetch queue, policy stall) clears
+        through an event that resets the latch to 0.  A far-future result
+        is fine: the fast-forward machinery still bounds progress and
+        diagnoses genuine wedges.
+        """
+        wake = cycle + (1 << 30)
+        for ts in self.threads:
+            blocked_until = ts.fetch_blocked_until
+            if cycle < blocked_until < wake:
+                wake = blocked_until
+        return wake
+
     def in_runahead(self, ts: ThreadState) -> bool:
         """Whether ``ts`` is speculating past a blocked long-latency load.
 
@@ -692,44 +1230,66 @@ class SMTCore:
 
     def _fetch_thread(self, ts: ThreadState, budget: int, cycle: int,
                       ignore_stall: bool) -> int:
-        trace = ts.trace
-        trace_get = trace.get
-        pc_address = trace.pc_address
-        on_fetch = self.policy.on_fetch
+        trace_get = ts.trace_get
+        trace_static = ts.trace_static   # None: duck-typed stub trace
+        body_len = ts.trace_body_len
+        # pc_address(), inlined: every trace maps PCs affinely at 4 bytes
+        # per instruction ("code region, 4 bytes per static instruction"),
+        # so the cached origin folds the constant part and the
+        # per-instruction cost is arithmetic rather than a method call.
+        pc_origin = ts.pc_origin
+        on_fetch = self._policy_on_fetch       # None: no-op for all instrs
+        on_fetch_load = self._policy_on_fetch_load  # None: not loads-only
+        lll_predict = ts.lll_predict
         fe_queue = ts.fe_queue
-        fe_append = fe_queue.append
+        fe_append = ts.fe_append
         line_shift = self._line_shift
         fe_ready = cycle + self._frontend_depth
         tid = ts.tid
         gseq = self._gseq
         allowed_end = ts.allowed_end
         count = 0
+        fe_was_empty = not fe_queue
         limit = self._fe_capacity - len(fe_queue)
         if budget < limit:
             limit = budget
+        pool = self._di_pool
         while count < limit:
             fetch_index = ts.fetch_index
             if not ignore_stall and allowed_end is not None \
                     and fetch_index > allowed_end:
                 break
-            instr = trace_get(fetch_index)
-            pc_addr = pc_address(instr.pc)
+            if trace_static is not None:
+                # get(), fast half inlined: iteration-invariant slots are
+                # pre-materialized; only varying slots pay the call.
+                instr = trace_static[fetch_index % body_len]
+                if instr is None:
+                    instr = trace_get(fetch_index)
+            else:
+                instr = trace_get(fetch_index)
+            pc_addr = pc_origin + instr.pc * 4
             line = pc_addr >> line_shift
             if line != ts.last_ifetch_line:
-                done = self.hierarchy.ifetch(tid, pc_addr, cycle)
+                done = self._hier_ifetch(tid, pc_addr, cycle)
                 ts.last_ifetch_line = line
                 if done > cycle:
                     ts.fetch_blocked_until = done
                     break
             gseq += 1
-            di = DynInstr(instr, tid, fetch_index, gseq, fe_ready)
+            if pool:
+                di = pool.pop()
+                di.reinit(instr, tid, fetch_index, gseq, fe_ready)
+            else:
+                di = DynInstr(instr, tid, fetch_index, gseq, fe_ready)
             fe_append(di)
             ts.fetch_index = fetch_index + 1
             ts.icount += 1
-            ts.stats.fetched += 1
             count += 1
             if di.is_load:
-                di.predicted_ll = ts.lll_pred.predict(instr.pc)
+                di.predicted_ll = lll_predict(instr.pc)
+                if on_fetch_load is not None:
+                    on_fetch_load(di, ts)
+                    allowed_end = ts.allowed_end  # the hook may update it
             if di.is_branch:
                 taken = instr.taken
                 prediction = self.gshare.update(instr.pc, taken, tid)
@@ -738,19 +1298,30 @@ class SMTCore:
                     target_known = self.btb.lookup(instr.pc)
                     self.btb.insert(instr.pc)
                 if prediction != taken or not target_known:
-                    di.mispredicted = True
                     ts.waiting_branch = di
                     ts.branch_wait_since = cycle
-                    on_fetch(di, ts)
+                    if on_fetch is not None:
+                        on_fetch(di, ts)
                     break
-                on_fetch(di, ts)
+                if on_fetch is not None:
+                    on_fetch(di, ts)
                 if taken:
                     # A correctly-predicted taken branch ends the block.
                     break
-            else:
+            elif on_fetch is not None:
                 on_fetch(di, ts)
-            allowed_end = ts.allowed_end  # policy may have updated it
+            if on_fetch is not None:
+                allowed_end = ts.allowed_end  # the hook may update it
         self._gseq = gseq
+        if count:
+            # Batched: nothing inside the burst reads the fetched counter.
+            ts.stats.fetched += count
+            if fe_was_empty:
+                # A fresh head exists where dispatch saw nothing.
+                self._dispatch_wake = 0
+        # The fetch index may have crossed allowed_end mid-burst; fold the
+        # transition into the event-driven stall state.
+        ts._sync_policy_stall(cycle)
         return count
 
     # ------------------------------------------------------------------ #
@@ -806,11 +1377,22 @@ class SMTCore:
                 else:
                     iq_delta += 1
             if di.has_dest:
+                # Undo the rename: the old mapping's backref transfers
+                # back to being the current entry; the squashed record
+                # drops its own current-entry ref.
                 rename_map[di.instr.dest] = di.old_map
+                di.refs -= 1
                 if di.dest_fp:
                     fp_regs_delta += 1
                 else:
                     int_regs_delta += 1
+            parents = di.ll_parents
+            if parents is not None:
+                di.ll_parents = None
+                for p in parents:
+                    p.refs -= 1
+                    if p.retired and not p.refs:
+                        self._maybe_recycle(p, ts)
             if di in ll_owners:
                 ts.clear_owner(di, cycle)
         if rob_delta:
@@ -840,6 +1422,12 @@ class SMTCore:
         ts.last_ifetch_line = -1
         ts.stats.squashed += squashed
         ts.stats.flushes += 1
+        # Squashing released shared resources and rewound the fetch index:
+        # invalidate dispatch and fetch latches, re-derive the stall state.
+        self._release_epoch += 1
+        self._fetch_wake = 0
+        self._dispatch_wake = 0
+        ts._sync_policy_stall(cycle)
         return squashed
 
     # ------------------------------------------------------------------ #
@@ -890,9 +1478,6 @@ class SMTCore:
         target = min(candidates)
         if target <= nxt:
             return nxt
-        skipped = target - nxt
-        for ts in self.threads:
-            allowed_end = ts.allowed_end
-            if allowed_end is not None and ts.fetch_index > allowed_end:
-                ts.stats.policy_stall_cycles += skipped
+        # (skipped policy-stall cycles are covered by the open stall
+        # intervals — no transition can occur in a skipped cycle.)
         return target

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.isa import Instr, Op
+from repro.isa import Instr
 
 
 class DynInstr:
@@ -11,18 +11,28 @@ class DynInstr:
     ``seq`` is the per-thread dynamic index (equal to the trace index, which
     makes flush-and-refetch a simple index rewind); ``gseq`` is a global age
     stamp used for oldest-first issue ordering.
+
+    Records are pool-recycled by the core (see ``SMTCore._di_pool``):
+    ``refs`` counts the long-lived references that outlive the window slot
+    (the rename-map current entry, younger instructions' ``old_map``
+    undo records, and captured ``ll_parents``), ``retired`` marks
+    architectural commit, and ``in_detects`` marks a still-queued
+    long-latency detection event.  A record returns to the pool only when
+    it is retired with ``refs == 0`` and no queued detection, so a pooled
+    object is never reachable from live simulation state.
     """
 
     __slots__ = (
         "instr", "thread", "seq", "gseq",
         "pending", "waiters",
         "fe_ready", "in_iq", "iq_is_fp", "issued",
-        "completed", "complete_cycle",
+        "completed",
         "has_dest", "dest_fp", "old_map",
         "squashed",
         "is_load", "is_store", "is_branch",
-        "is_ll", "predicted_ll", "mispredicted", "fill_line",
+        "is_ll", "predicted_ll", "fill_line",
         "level", "inv", "ll_parents", "ll_dep",
+        "refs", "retired", "in_detects",
     )
 
     def __init__(self, instr: Instr, thread: int, seq: int, gseq: int,
@@ -38,18 +48,16 @@ class DynInstr:
         self.iq_is_fp = False
         self.issued = False
         self.completed = False
-        self.complete_cycle = -1
-        self.has_dest = instr.dest is not None
-        self.dest_fp = bool(instr.dest is not None and instr.dest >= 32)
+        # Class flags are precomputed on the (immutable) Instr.
+        self.has_dest = instr.has_dest
+        self.dest_fp = instr.dest_fp
         self.old_map: DynInstr | None = None
         self.squashed = False
-        op = instr.op
-        self.is_load = op is Op.LOAD
-        self.is_store = op is Op.STORE
-        self.is_branch = op is Op.BRANCH
+        self.is_load = instr.is_load
+        self.is_store = instr.is_store
+        self.is_branch = instr.is_branch
         self.is_ll = False
         self.predicted_ll: bool | None = None
-        self.mispredicted = False
         self.fill_line: int | None = None
         # Memory level that serviced this load (set at execute).
         self.level = None
@@ -61,6 +69,45 @@ class DynInstr:
         # the resolved transitively-dependent flag (final at commit).
         self.ll_parents: tuple[DynInstr, ...] | None = None
         self.ll_dep = False
+        self.refs = 0
+        self.retired = False
+        self.in_detects = False
+
+    def reinit(self, instr: Instr, thread: int, seq: int, gseq: int,
+               fe_ready: int) -> None:
+        """Re-arm a pooled record: ``__init__`` minus the pool invariants.
+
+        The commit-path recycle guards admit a record to the pool only
+        when it retired with no live references, so these fields are
+        *provably* already pristine and are not re-written here:
+        ``waiters``/``old_map``/``ll_parents`` are ``None`` (drained at
+        completion / cleared at commit), ``squashed`` and ``inv`` are
+        False (committed records are neither; RunaheadCore, the only INV
+        producer, opts out of pooling), ``in_iq`` is False (issue cleared
+        it), ``refs`` is 0 and ``in_detects`` False (recycle guards).
+        ``tests/test_pool.py`` cross-checks a reused record against a
+        fresh one field by field.
+        """
+        self.instr = instr
+        self.thread = thread
+        self.seq = seq
+        self.gseq = gseq
+        self.pending = 0         # loads park -1 here as a miss marker
+        self.fe_ready = fe_ready
+        self.iq_is_fp = False
+        self.issued = False
+        self.completed = False
+        self.has_dest = instr.has_dest
+        self.dest_fp = instr.dest_fp
+        self.is_load = instr.is_load
+        self.is_store = instr.is_store
+        self.is_branch = instr.is_branch
+        self.is_ll = False
+        self.predicted_ll = None
+        self.fill_line = None
+        self.level = None
+        self.ll_dep = False
+        self.retired = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join((

@@ -39,6 +39,11 @@ class ThreadState:
         "outstanding_misses",
         "llsr", "lll_pred", "mlp_pred", "binary_mlp",
         "stats", "policy_data", "commit_cycles", "fetch_entry",
+        "core", "policy_stalled_flag", "policy_stall_since", "fetch_one",
+        "dispatch_blocked_head", "dispatch_blocked_epoch",
+        "dispatch_wait_until",
+        "trace_get", "fe_append", "lll_predict", "pc_origin",
+        "llsr_commit", "trace_static", "trace_body_len",
     )
 
     def __init__(self, tid: int, trace: "SyntheticTrace", cfg: SMTConfig):
@@ -83,6 +88,47 @@ class ThreadState:
         #: Interned ``(self, False)`` pair for fetch_order results, so the
         #: per-cycle ICOUNT ordering allocates no tuples.
         self.fetch_entry = (self, False)
+        #: Interned single-thread fetch order (the overwhelmingly common
+        #: result shape), so the per-cycle fetch selection allocates
+        #: nothing when one thread is eligible.
+        self.fetch_one = [self.fetch_entry]
+        #: Owning core (set by ``SMTCore.__init__``); ``None`` for
+        #: standalone ThreadStates in unit tests.
+        self.core = None
+        #: Event-maintained mirror of :attr:`policy_stalled`, kept exact
+        #: at every stage boundary by ``_sync_policy_stall`` so the fetch
+        #: stage never re-derives it per thread per cycle.  The paired
+        #: ``policy_stall_since`` timestamp turns the old per-cycle
+        #: stall-counting scan into stall-interval accounting.
+        self.policy_stalled_flag = False
+        self.policy_stall_since = 0
+        #: Dispatch-attempt latch: the head instruction last rejected by a
+        #: *shared-resource* gate, with the core's release epoch at the
+        #: time.  While the head and epoch both match, the dispatch stage
+        #: re-asserts the rejection without re-proving it.
+        self.dispatch_blocked_head: DynInstr | None = None
+        self.dispatch_blocked_epoch = 0
+        #: Front-end time latch: the head's ``fe_ready`` last observed by
+        #: the dispatch stage.  Head ready times are nondecreasing (pops
+        #: advance to later-fetched instructions; a flush only ever leads
+        #: to refetched, later-stamped ones), so skipping the thread while
+        #: ``cycle < dispatch_wait_until`` can never skip a ready head —
+        #: a stale-low value merely costs one harmless probe.
+        self.dispatch_wait_until = 0
+        # Fetch-stage invariants cached as slots: bound methods and the
+        # affine PC-address origin (pc_address(pc) == pc_origin + pc * 4
+        # for every trace implementation), so the per-burst prologue is
+        # slot loads instead of attribute chains and a probe call.
+        self.trace_get = trace.get
+        self.fe_append = self.fe_queue.append
+        self.lll_predict = self.lll_pred.predict
+        self.pc_origin = trace.pc_address(0)
+        self.llsr_commit = self.llsr.commit
+        # Direct view of the trace's pre-materialized static instructions
+        # (None for duck-typed stub traces): lets the fetch loop skip the
+        # ``get`` call for iteration-invariant slots.
+        self.trace_static = getattr(trace, "_static", None)
+        self.trace_body_len = getattr(trace, "body_len", 1)
         # When not None, the commit cycle of every instruction is appended
         # here (used to evaluate single-threaded CPI at arbitrary
         # instruction counts, per the paper's Section 5 methodology).
@@ -120,6 +166,31 @@ class ThreadState:
         else:
             self.allowed_end = None
             self.stall_start = -1
+        self._sync_policy_stall(cycle)
+
+    def _sync_policy_stall(self, cycle: int) -> None:
+        """Fold the current stall predicate into the event-driven state.
+
+        Called at every point the predicate can flip: owner set/clear
+        (via ``_recompute_allowed_end``), the end of a fetch burst (the
+        fetch index may have crossed ``allowed_end``), and the end of a
+        flush (the fetch index rewinds).  On a transition it re-derives
+        the core's fetch-candidate list and settles the stall-cycle
+        interval, which is what lets the core drop both the per-cycle
+        eligibility rebuild and the per-cycle stall-counting scan.
+        """
+        allowed_end = self.allowed_end
+        stalled = allowed_end is not None and self.fetch_index > allowed_end
+        if stalled == self.policy_stalled_flag:
+            return
+        self.policy_stalled_flag = stalled
+        if stalled:
+            self.policy_stall_since = cycle
+        else:
+            self.stats.policy_stall_cycles += cycle - self.policy_stall_since
+        core = self.core
+        if core is not None:
+            core._rebuild_fetch_candidates()
 
     def oldest_owner(self) -> "DynInstr | None":
         if not self.ll_owners:

@@ -28,24 +28,24 @@ mlp_runahead            MLP-distance-gated runahead (paper §7.2)
 ======================  =============================================
 """
 
-from repro.policies.base import FetchPolicy, LongLatencyAwarePolicy
-from repro.policies.icount import ICountPolicy
-from repro.policies.stall import StallPolicy
-from repro.policies.predictive_stall import PredictiveStallPolicy
-from repro.policies.mlp_stall import MLPStallPolicy
-from repro.policies.flush import FlushPolicy
-from repro.policies.mlp_flush import MLPFlushPolicy
 from repro.policies.alternatives import (
     BinaryMLPFlushAtStallPolicy,
     BinaryMLPFlushPolicy,
     MLPDistanceFlushAtStallPolicy,
 )
-from repro.policies.static_partition import StaticPartitionPolicy
+from repro.policies.base import FetchPolicy, LongLatencyAwarePolicy
+from repro.policies.cgmt import CGMTPolicy, MLPAwareCGMTPolicy
 from repro.policies.dcra import DCRAPolicy
-from repro.policies.pdg import DataGatingPolicy, PredictiveDataGatingPolicy
+from repro.policies.flush import FlushPolicy
+from repro.policies.icount import ICountPolicy
 from repro.policies.learning import LearningPartitionPolicy
 from repro.policies.mlp_dcra import MLPAwareDCRAPolicy
-from repro.policies.cgmt import CGMTPolicy, MLPAwareCGMTPolicy
+from repro.policies.mlp_flush import MLPFlushPolicy
+from repro.policies.mlp_stall import MLPStallPolicy
+from repro.policies.pdg import DataGatingPolicy, PredictiveDataGatingPolicy
+from repro.policies.predictive_stall import PredictiveStallPolicy
+from repro.policies.stall import StallPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
 from repro.runahead.policy import MLPRunaheadPolicy, RunaheadPolicy
 
 POLICIES: dict[str, type[FetchPolicy]] = {

@@ -25,6 +25,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 _BY_ICOUNT = attrgetter("icount")
 
+#: Shared empty fetch order.  A tuple so an accidental mutation by a
+#: caller raises instead of corrupting every later empty result.
+_EMPTY_ORDER: tuple = ()
+
 
 class FetchPolicy:
     """Base class: plain ICOUNT with COT support for subclasses."""
@@ -33,6 +37,10 @@ class FetchPolicy:
     #: Set by subclasses that must observe every resource-stall cycle
     #: (disables fast-forwarding past dispatch-blocked cycles).
     reacts_to_resource_stall = False
+    #: Declares that :meth:`on_fetch` is a no-op for anything but loads
+    #: (its body is guarded by ``di.is_load``).  The core then skips the
+    #: per-instruction call for non-loads — exact by declaration.
+    on_fetch_loads_only = False
     #: Core implementation this policy requires; ``None`` means the plain
     #: :class:`repro.pipeline.core.SMTCore`.  Runahead policies point this
     #: at :class:`repro.runahead.RunaheadCore`; the experiment runner
@@ -56,42 +64,57 @@ class FetchPolicy:
         COT grant that overrides the thread's own policy stall.  Must be
         side-effect free.  Subclasses that change the *eligibility* rules
         here must override :meth:`fetch_pending` to match.
+
+        Eligibility is read off the core's event-maintained candidate
+        list (``core._fetch_candidates``: the policy-unstalled threads,
+        re-derived only on stall/unstall transitions) instead of
+        re-proving the ``allowed_end`` predicate for every thread every
+        cycle; only the genuinely time-varying conditions (I-fetch block,
+        branch wait, fetch-queue headroom) are checked here.  The common
+        result shapes allocate nothing: a single eligible thread returns
+        its interned one-entry order, and the ICOUNT sort only runs when
+        two or more threads compete.
         """
         core = self.core
-        threads = core.threads
-        fe_capacity = core._fe_capacity  # fetchable(), inlined: this runs
-        eligible = []                    # for every thread, every cycle
-        any_fetchable = False
-        for ts in threads:
+        candidates = core._fetch_candidates
+        fe_capacity = core._fe_capacity
+        if candidates:
+            first = None
+            rest = None
+            for ts in candidates:
+                if (ts.fetch_blocked_until <= cycle
+                        and ts.waiting_branch is None
+                        and len(ts.fe_queue) < fe_capacity):
+                    if first is None:
+                        first = ts
+                    elif rest is None:
+                        rest = [first, ts]
+                    else:
+                        rest.append(ts)
+            if rest is None:
+                return _EMPTY_ORDER if first is None else first.fetch_one
+            if len(rest) == 2:
+                a, b = rest
+                # Matches the stable sort: ties keep tid order.
+                if b.icount < a.icount:
+                    return [b.fetch_entry, a.fetch_entry]
+                return [a.fetch_entry, b.fetch_entry]
+            rest.sort(key=_BY_ICOUNT)
+            return [ts.fetch_entry for ts in rest]
+        # Every thread is policy-stalled on a long-latency load: COT.  COT
+        # applies only in that case — a thread that is merely
+        # back-pressured (full fetch queue, unresolved branch) will resume
+        # by itself, and granting a stalled thread fetch in the meantime
+        # would defeat the stall/flush policy.
+        oldest = None
+        for ts in core.threads:
             if (ts.fetch_blocked_until <= cycle
                     and ts.waiting_branch is None
-                    and len(ts.fe_queue) < fe_capacity):
-                any_fetchable = True
-                allowed_end = ts.allowed_end
-                if allowed_end is None or ts.fetch_index <= allowed_end:
-                    eligible.append(ts)
-        if eligible:
-            if len(eligible) > 1:
-                eligible.sort(key=_BY_ICOUNT)
-            return [ts.fetch_entry for ts in eligible]
-        if not any_fetchable:
-            return []
-        # COT applies only when *every* thread is stalled because of a
-        # long-latency load — a thread that is merely back-pressured (full
-        # fetch queue, unresolved branch) will resume by itself, and
-        # granting a stalled thread fetch in the meantime would defeat the
-        # stall/flush policy.
-        oldest = None
-        for ts in threads:
-            allowed_end = ts.allowed_end
-            if allowed_end is None or ts.fetch_index <= allowed_end:
-                return []
-        fetchable = core.fetchable
-        for ts in threads:
-            if fetchable(ts, cycle) and (
-                    oldest is None or ts.stall_start < oldest.stall_start):
+                    and len(ts.fe_queue) < fe_capacity
+                    and (oldest is None
+                         or ts.stall_start < oldest.stall_start)):
                 oldest = ts
-        return [] if oldest is None else [(oldest, True)]
+        return _EMPTY_ORDER if oldest is None else [(oldest, True)]
 
     def fetch_pending(self, cycle: int) -> bool:
         """Would :meth:`fetch_order` be non-empty at ``cycle``?
@@ -104,24 +127,15 @@ class FetchPolicy:
         correct, if slower, implementation).
         """
         core = self.core
-        threads = core.threads
         fe_capacity = core._fe_capacity
-        any_fetchable = False
-        for ts in threads:
+        # An empty candidate list means all threads are policy-stalled, in
+        # which case COT grants fetch to any fetchable thread.
+        for ts in (core._fetch_candidates or core.threads):
             if (ts.fetch_blocked_until <= cycle
                     and ts.waiting_branch is None
                     and len(ts.fe_queue) < fe_capacity):
-                allowed_end = ts.allowed_end
-                if allowed_end is None or ts.fetch_index <= allowed_end:
-                    return True
-                any_fetchable = True
-        if not any_fetchable:
-            return False
-        for ts in threads:
-            allowed_end = ts.allowed_end
-            if allowed_end is None or ts.fetch_index <= allowed_end:
-                return False
-        return True
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # hooks
@@ -145,6 +159,24 @@ class FetchPolicy:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+# Markers for the no-op default hooks: the core skips the per-instruction
+# calls entirely for policies that do not override them (the marker is on
+# the function object, so any override — which is a different function —
+# is automatically unmarked).
+FetchPolicy.can_dispatch._is_default_hook = True
+FetchPolicy.on_fetch._is_default_hook = True
+FetchPolicy.on_load_complete._is_default_hook = True
+# Marks the base eligibility rules: with these implementations the core
+# may cache "no thread can fetch before cycle X" (the fetch-wake latch),
+# because every eligibility change is either time-bound
+# (fetch_blocked_until) or flows through an invalidation the core owns
+# (branch resolution, front-end pop, flush, candidate rebuild).  Policies
+# that override fetch_order/fetch_pending lose the marker automatically
+# and are probed every cycle.
+FetchPolicy.fetch_order._is_base_impl = True
+FetchPolicy.fetch_pending._is_base_impl = True
 
 
 class LongLatencyAwarePolicy(FetchPolicy):

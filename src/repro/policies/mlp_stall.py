@@ -16,6 +16,7 @@ class MLPStallPolicy(LongLatencyAwarePolicy):
     """Fetch-stall at the predicted MLP distance (the paper, §4.3)."""
 
     name = "mlp_stall"
+    on_fetch_loads_only = True  # on_fetch acts only on predicted-LL loads
 
     def on_fetch(self, di, ts):
         if di.is_load and di.predicted_ll and not ts.ll_owners:

@@ -67,6 +67,7 @@ class PredictiveDataGatingPolicy(FetchPolicy):
     """PDG: gate on the number of predicted-miss loads in flight."""
 
     name = "pdg"
+    on_fetch_loads_only = True  # on_fetch tracks predicted-miss loads
 
     def __init__(self, threshold: int = 2, predictor_entries: int = 2048):
         super().__init__()

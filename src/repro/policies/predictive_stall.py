@@ -17,6 +17,7 @@ class PredictiveStallPolicy(LongLatencyAwarePolicy):
     """Fetch-stall on front-end-predicted misses (Cazorla et al. 2004a)."""
 
     name = "pred_stall"
+    on_fetch_loads_only = True  # on_fetch acts only on predicted-LL loads
 
     def on_fetch(self, di, ts):
         if di.is_load and di.predicted_ll:

@@ -12,12 +12,12 @@
   alternative policies (c) and (e) of Section 6.5.
 """
 
-from repro.predictors.miss_pattern import MissPatternPredictor
-from repro.predictors.last_value import LastValuePredictor
-from repro.predictors.two_bit import TwoBitMissPredictor
-from repro.predictors.llsr import LLSR
-from repro.predictors.mlp_distance import MLPDistancePredictor
 from repro.predictors.binary_mlp import BinaryMLPPredictor
+from repro.predictors.last_value import LastValuePredictor
+from repro.predictors.llsr import LLSR
+from repro.predictors.miss_pattern import MissPatternPredictor
+from repro.predictors.mlp_distance import MLPDistancePredictor
+from repro.predictors.two_bit import TwoBitMissPredictor
 
 LLL_PREDICTORS = {
     "miss_pattern": MissPatternPredictor,

@@ -18,18 +18,29 @@ earlier long-latency load inserts a 0 instead of a 1, so it neither counts
 as an MLP companion nor triggers a measurement of its own.  Dependent
 misses cannot overlap with their producers, so the distances measured this
 way reflect only *exploitable* MLP.
+
+Implementation note (perf): the register is a fixed ring buffer over two
+preallocated lists rather than a pair of deques, and the measured distance
+comes from a running "commit index of the most recent 1" watermark instead
+of a tail-to-head scan — ``commit`` is O(1) even on measuring commits.
+The distance algebra: with ``total`` commits shifted in and a register of
+``length`` entries, the live window holds commit indices
+``total - length + 1 .. total``; a 1 last inserted at commit index ``w``
+sits ``w - total + length`` positions past the head (clamped to 0 when it
+already left the window).  ``tests/test_predictors.py`` pins this against
+the reference shift-register semantics.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Callable
 
 
 class LLSR:
     """Commit-stream observer that measures MLP distances."""
 
-    __slots__ = ("length", "_bits", "_pcs", "_on_measure", "measured",
+    __slots__ = ("length", "_bits", "_pcs", "_head", "_filled", "_total",
+                 "_last_one_total", "_on_measure", "measured",
                  "exclude_dependent", "suppressed")
 
     def __init__(self, length: int,
@@ -39,8 +50,12 @@ class LLSR:
         if length < 2:
             raise ValueError("LLSR needs at least two entries")
         self.length = length
-        self._bits: deque[int] = deque()
-        self._pcs: deque[int] = deque()
+        self._bits = [0] * length
+        self._pcs = [-1] * length
+        self._head = 0          # ring slot holding the oldest entry
+        self._filled = 0        # entries shifted in while still filling
+        self._total = 0         # commits shifted in over the LLSR lifetime
+        self._last_one_total = 0  # commit index of the most recent 1 (0: none)
         self._on_measure = on_measure
         self.measured: list[tuple[int, int]] = []
         self.exclude_dependent = exclude_dependent
@@ -61,29 +76,34 @@ class LLSR:
         if insert and dependent and self.exclude_dependent:
             insert = False
             self.suppressed += 1
+        total = self._total + 1
+        self._total = total
+        if insert:
+            self._last_one_total = total
         bits = self._bits
-        bits.append(1 if insert else 0)
-        self._pcs.append(pc if insert else -1)
-        if len(bits) <= self.length:
+        length = self.length
+        filled = self._filled
+        if filled < length:
+            bits[filled] = 1 if insert else 0
+            self._pcs[filled] = pc if insert else -1
+            self._filled = filled + 1
             return None
-        head_bit = bits.popleft()
-        head_pc = self._pcs.popleft()
+        head = self._head
+        head_bit = bits[head]
+        head_pc = self._pcs[head]
+        bits[head] = 1 if insert else 0
+        self._pcs[head] = pc if insert else -1
+        self._head = head + 1 if head + 1 < length else 0
         if not head_bit:
             return None
-        distance = self._last_one_position()
+        distance = self._last_one_total - total + length
+        if distance < 0:
+            distance = 0
         self.measured.append((head_pc, distance))
         if self._on_measure is not None:
             self._on_measure(head_pc, distance)
         return distance
 
-    def _last_one_position(self) -> int:
-        """Position (1-based from just past the head) of the furthest 1."""
-        bits = self._bits
-        for idx in range(len(bits) - 1, -1, -1):
-            if bits[idx]:
-                return idx + 1
-        return 0
-
     @property
     def occupancy(self) -> int:
-        return len(self._bits)
+        return self._filled

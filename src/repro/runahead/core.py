@@ -63,9 +63,19 @@ class RunaheadCore(SMTCore):
     replacement for :class:`repro.pipeline.core.SMTCore`.
     """
 
+    __slots__ = ("_ra",)
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._ra = [_RunaheadState() for _ in self.threads]
+        # No DynInstr pooling: pseudo-retirement releases records without
+        # the commit-path reference accounting, and ``_RunaheadState``
+        # keeps identity references (entry, refused) past retirement.
+        self._di_pool = None
+        # The commit gate stays permanently open: this commit stage can
+        # make progress on *incomplete* heads (runahead entry,
+        # pseudo-retirement), which the event-driven gate cannot see.
+        self._commit_pending = True
 
     def in_runahead(self, ts: ThreadState) -> bool:
         return self._ra[ts.tid].active
@@ -103,7 +113,7 @@ class RunaheadCore(SMTCore):
                 w.pending -= 1
                 if (w.pending == 0 and not w.squashed and w.in_iq
                         and not w.issued):
-                    heapq.heappush(ready_by_op[w.instr.op], (w.gseq, w))
+                    heapq.heappush(ready_by_op[w.instr.op_i], (w.gseq, w))
             di.waiters = None
 
     # ------------------------------------------------------------------ #
@@ -163,6 +173,8 @@ class RunaheadCore(SMTCore):
                 if outcome:
                     blocked_by_resource = True
                 break
+        if dispatched:
+            self._fetch_wake = 0  # front-end pops freed fetch headroom
         if any_ready and dispatched == 0 and blocked_by_resource:
             self.stats.resource_stall_cycles += 1
             self.policy.on_resource_stall(cycle)

@@ -17,8 +17,8 @@ the single implementation.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
+import os
 
 #: The environment knobs the repro.jobs engine reads (see repro/jobs/store.py).
 ENV_KEYS = ("REPRO_CACHE_DIR", "REPRO_CACHE", "REPRO_JOBS")

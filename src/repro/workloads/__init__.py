@@ -9,15 +9,6 @@ observe those properties, which is what makes the substitution sound; see
 DESIGN.md and EXPERIMENTS.md for the calibration evidence.
 """
 
-from repro.workloads.spec import BenchmarkSpec, build_body, Slot, SlotKind
-from repro.workloads.trace import SyntheticTrace
-from repro.workloads.registry import (
-    BENCHMARKS,
-    ILP_BENCHMARKS,
-    MLP_BENCHMARKS,
-    TABLE_I,
-    benchmark,
-)
 from repro.workloads.mixes import (
     TWO_THREAD_ILP,
     TWO_THREAD_MLP,
@@ -26,6 +17,15 @@ from repro.workloads.mixes import (
     FOUR_THREAD_WORKLOADS,
     workload_category,
 )
+from repro.workloads.registry import (
+    BENCHMARKS,
+    ILP_BENCHMARKS,
+    MLP_BENCHMARKS,
+    TABLE_I,
+    benchmark,
+)
+from repro.workloads.spec import BenchmarkSpec, build_body, Slot, SlotKind
+from repro.workloads.trace import SyntheticTrace
 
 __all__ = [
     "BENCHMARKS",

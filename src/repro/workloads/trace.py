@@ -31,6 +31,33 @@ from repro.workloads.spec import BenchmarkSpec, Slot, SlotKind, build_body
 _REGION_SHIFT = 32
 _CHASE_WALK_MULT = 2654435761  # Knuth multiplicative-hash constant (odd)
 
+_INSTR_NEW = Instr.__new__
+
+
+def _from_proto(proto: Instr, addr: int | None, taken: bool) -> Instr:
+    """Clone a per-slot prototype with a fresh address/direction.
+
+    ``Instr.__init__`` re-filters the source tuple on every call; for the
+    iteration-varying slots only ``addr``/``taken`` actually change, so the
+    fetch path clones a prototype (sharing the filtered ``srcs`` tuple)
+    with six direct slot stores instead.
+    """
+    ins = _INSTR_NEW(Instr)
+    ins.pc = proto.pc
+    ins.op = proto.op
+    ins.dest = proto.dest
+    ins.srcs = proto.srcs
+    ins.addr = addr
+    ins.taken = taken
+    ins.is_load = proto.is_load
+    ins.is_store = proto.is_store
+    ins.is_branch = proto.is_branch
+    ins.has_dest = proto.has_dest
+    ins.dest_fp = proto.dest_fp
+    ins.op_i = proto.op_i
+    ins.fp_queue = proto.fp_queue
+    return ins
+
 
 class SyntheticTrace:
     """Lazy, stateless dynamic instruction stream for one thread."""
@@ -85,9 +112,33 @@ class SyntheticTrace:
         self.stout_bases = [region(24 + s) for s in range(spec.stream_stores)]
         self.stout_fp = footprint(spec.stream_footprint)
         # Pre-materialize instructions for slots that do not vary by
-        # iteration (compute, consumers, loop-back branch).
+        # iteration (compute, consumers, loop-back branch), and prototypes
+        # (pc/op/dest/filtered srcs) for the iteration-varying ones so
+        # ``get`` clones instead of re-running ``Instr.__init__``.
         self._static: list[Instr | None] = [
             self._static_instr(slot) for slot in self.body]
+        self._protos: list[Instr] = [
+            self._proto_instr(slot) if static is None else static
+            for slot, static in zip(self.body, self._static)]
+
+    def _proto_instr(self, slot: Slot) -> Instr:
+        """Prototype for an iteration-varying slot, one per kind.
+
+        Field-for-field the same ``Instr`` each ``get`` branch used to
+        build, minus the varying ``addr``/``taken``: loads keep their
+        destination, stores and conditional branches have none.
+        """
+        kind = slot.kind
+        if kind in (SlotKind.STREAM_LOAD, SlotKind.HOT_LOAD,
+                    SlotKind.CHASE_LOAD, SlotKind.BURST_LOAD,
+                    SlotKind.RANDOM_LOAD):
+            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs)
+        if kind in (SlotKind.STORE, SlotKind.STREAM_STORE):
+            return Instr(slot.pc, Op.STORE, None, slot.srcs)
+        if kind is SlotKind.COND_BRANCH:
+            return Instr(slot.pc, Op.BRANCH, None, slot.srcs)
+        raise AssertionError(
+            f"unhandled slot kind {kind!r}")  # pragma: no cover
 
     def _static_instr(self, slot: Slot) -> Instr | None:
         kind = slot.kind
@@ -115,6 +166,7 @@ class SyntheticTrace:
         kind = slot.kind
         spec = self.spec
         line = self._line
+        proto = self._protos[pos]
         # Hash with the *local* pc so the generated stream is identical
         # regardless of which hardware-thread slot the program occupies.
         local_pc = slot.pc - self.pc_base
@@ -122,18 +174,18 @@ class SyntheticTrace:
         if kind is SlotKind.STREAM_LOAD:
             base = self.stream_bases[slot.index]
             addr = base + (iteration * spec.stream_stride) % self.stream_fp
-            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+            return _from_proto(proto, addr, False)
 
         if kind is SlotKind.HOT_LOAD:
             addr = self.hot_base + (
                 (local_pc * 811 + iteration) % self.hot_lines) * line
-            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+            return _from_proto(proto, addr, False)
 
         if kind is SlotKind.CHASE_LOAD:
             step = iteration // spec.chase_every
             offset = (step * _CHASE_WALK_MULT + slot.index) % self.chase_fp_lines
             addr = self.chase_bases[slot.index] + offset * line
-            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+            return _from_proto(proto, addr, False)
 
         if kind is SlotKind.BURST_LOAD:
             if iteration % spec.burst_every == 0:
@@ -142,25 +194,25 @@ class SyntheticTrace:
             else:
                 addr = self.hot_base + (
                     (local_pc * 811 + slot.index * 67) % self.hot_lines) * line
-            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+            return _from_proto(proto, addr, False)
 
         if kind is SlotKind.RANDOM_LOAD:
             offset = mix64(self.seed, local_pc, iteration) % self.random_lines
             addr = self.random_base + offset * line
-            return Instr(slot.pc, Op.LOAD, slot.dest, slot.srcs, addr=addr)
+            return _from_proto(proto, addr, False)
 
         if kind is SlotKind.STORE:
             addr = self.hot_base + (
                 (local_pc * 811 + iteration) % self.hot_lines) * line
-            return Instr(slot.pc, Op.STORE, None, slot.srcs, addr=addr)
+            return _from_proto(proto, addr, False)
 
         if kind is SlotKind.STREAM_STORE:
             base = self.stout_bases[slot.index]
             addr = base + (iteration * spec.stream_stride) % self.stout_fp
-            return Instr(slot.pc, Op.STORE, None, slot.srcs, addr=addr)
+            return _from_proto(proto, addr, False)
 
         if kind is SlotKind.COND_BRANCH:
             taken = uniform_double(self.seed, local_pc, iteration) < slot.taken_prob
-            return Instr(slot.pc, Op.BRANCH, None, slot.srcs, taken=taken)
+            return _from_proto(proto, None, taken)
 
         raise AssertionError(f"unhandled slot kind {kind!r}")  # pragma: no cover

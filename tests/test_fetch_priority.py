@@ -1,0 +1,164 @@
+"""Incremental fetch-priority structure vs a rebuild-from-scratch oracle.
+
+The core maintains fetch eligibility *incrementally*: a per-thread
+``policy_stalled_flag`` plus the ``_fetch_candidates`` list are updated
+only on policy-relevant events (owner set/clear, fetch-index advance,
+flush rewind), and the base policy's ``fetch_order``/``fetch_pending``
+read them instead of re-deriving eligibility per thread per cycle.
+
+These tests drive randomized event sequences through the real
+``ThreadState``/``SMTCore`` transition functions and compare, after every
+event, against oracles that recompute everything from the raw per-thread
+fields — including a verbatim reimplementation of the original
+(pre-incremental) fetch-order algorithm.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import StubTrace, alu
+from repro.config import SMTConfig
+from repro.pipeline.core import SMTCore
+from repro.pipeline.dyninstr import DynInstr
+from repro.policies import make_policy
+
+
+def _make_core(num_threads: int) -> SMTCore:
+    cfg = SMTConfig(num_threads=num_threads)
+    traces = [StubTrace([alu(pc) for pc in range(4)])
+              for _ in range(num_threads)]
+    return SMTCore(cfg, traces, make_policy("stall"))
+
+
+def _owner(tid: int, seq: int, gseq: int) -> DynInstr:
+    return DynInstr(alu(seq), tid, seq, gseq, fe_ready=0)
+
+
+# --------------------------------------------------------------------- #
+# oracles: recompute from raw fields, the way the original code did
+# --------------------------------------------------------------------- #
+
+def oracle_candidates(core: SMTCore) -> list:
+    return [ts for ts in core.threads
+            if not (ts.allowed_end is not None
+                    and ts.fetch_index > ts.allowed_end)]
+
+
+def oracle_fetch_order(core: SMTCore, cycle: int) -> list:
+    """The original per-cycle rebuild+sort fetch order, verbatim."""
+    threads = core.threads
+    fe_capacity = core._fe_capacity
+    eligible = []
+    any_fetchable = False
+    for ts in threads:
+        if (ts.fetch_blocked_until <= cycle
+                and ts.waiting_branch is None
+                and len(ts.fe_queue) < fe_capacity):
+            any_fetchable = True
+            allowed_end = ts.allowed_end
+            if allowed_end is None or ts.fetch_index <= allowed_end:
+                eligible.append(ts)
+    if eligible:
+        if len(eligible) > 1:
+            eligible.sort(key=lambda t: t.icount)
+        return [(ts, False) for ts in eligible]
+    if not any_fetchable:
+        return []
+    for ts in threads:
+        allowed_end = ts.allowed_end
+        if allowed_end is None or ts.fetch_index <= allowed_end:
+            return []
+    oldest = None
+    for ts in threads:
+        if core.fetchable(ts, cycle) and (
+                oldest is None or ts.stall_start < oldest.stall_start):
+            oldest = ts
+    return [] if oldest is None else [(oldest, True)]
+
+
+# --------------------------------------------------------------------- #
+# randomized event sequences
+# --------------------------------------------------------------------- #
+
+_EVENT = st.tuples(
+    st.sampled_from(
+        ("set_owner", "clear_owner", "advance", "rewind", "block", "icount")),
+    st.integers(min_value=0, max_value=3),     # thread index
+    st.integers(min_value=-3, max_value=12),   # magnitude / end offset
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(num_threads=st.sampled_from((1, 2, 4)),
+       events=st.lists(_EVENT, max_size=40))
+def test_incremental_state_matches_rebuild_oracle(num_threads, events):
+    core = _make_core(num_threads)
+    gseq = 0
+    cycle = 0
+    owners: list[list[DynInstr]] = [[] for _ in range(num_threads)]
+    for kind, raw_tid, mag in events:
+        cycle += 1
+        ts = core.threads[raw_tid % num_threads]
+        if kind == "set_owner":
+            gseq += 1
+            di = _owner(ts.tid, max(ts.fetch_index + mag, 0), gseq)
+            ts.set_owner(di, di.seq, cycle)
+            owners[ts.tid].append(di)
+        elif kind == "clear_owner":
+            if owners[ts.tid]:
+                ts.clear_owner(owners[ts.tid].pop(), cycle)
+        elif kind == "advance":
+            # A fetch burst: the index moves, then the end-of-burst sync
+            # folds any allowed_end crossing into the incremental state.
+            ts.fetch_index += max(mag, 0)
+            ts._sync_policy_stall(cycle)
+        elif kind == "rewind":
+            # A flush: the index rewinds, then flush_thread syncs.
+            ts.fetch_index = max(ts.fetch_index - max(mag, 0), 0)
+            ts._sync_policy_stall(cycle)
+        elif kind == "block":
+            # Time-based eligibility is not part of the incremental
+            # state; no sync is required for it.
+            ts.fetch_blocked_until = cycle + max(mag, 0)
+        elif kind == "icount":
+            ts.icount = max(mag, 0)
+
+        # the event-maintained structures equal a from-scratch rebuild
+        assert ts.policy_stalled_flag == ts.policy_stalled
+        assert core._fetch_candidates == oracle_candidates(core)
+        # and the incremental fetch order equals the original algorithm
+        policy = core.policy
+        assert list(policy.fetch_order(cycle)) == \
+            list(oracle_fetch_order(core, cycle))
+        assert policy.fetch_pending(cycle) == \
+            bool(oracle_fetch_order(core, cycle))
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=st.lists(_EVENT, min_size=1, max_size=30),
+       probe_offset=st.integers(min_value=0, max_value=5))
+def test_fetch_pending_matches_order_truthiness_at_future_cycles(
+        events, probe_offset):
+    """fetch_pending(c') must mirror fetch_order(c') for any probed c'."""
+    core = _make_core(2)
+    gseq = 0
+    cycle = 0
+    for kind, raw_tid, mag in events:
+        cycle += 1
+        ts = core.threads[raw_tid % 2]
+        if kind == "set_owner":
+            gseq += 1
+            di = _owner(ts.tid, max(ts.fetch_index + mag, 0), gseq)
+            ts.set_owner(di, di.seq, cycle)
+        elif kind == "advance":
+            ts.fetch_index += max(mag, 0)
+            ts._sync_policy_stall(cycle)
+        elif kind == "block":
+            ts.fetch_blocked_until = cycle + max(mag, 0)
+        elif kind == "icount":
+            ts.icount = max(mag, 0)
+    probe = cycle + probe_offset
+    policy = core.policy
+    assert policy.fetch_pending(probe) == bool(policy.fetch_order(probe))

@@ -4,9 +4,9 @@ These use generous margins — they assert the *direction* of effects the
 paper establishes, on short runs, not precise magnitudes.
 """
 
-import pytest
-
 from dataclasses import replace
+
+import pytest
 
 from repro.config import scaled_config
 from repro.experiments import (

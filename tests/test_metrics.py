@@ -1,7 +1,7 @@
 """Tests for STP / ANTT and the averaging rules (Section 5)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.metrics import (
     antt,

@@ -181,3 +181,42 @@ class TestHarnessSmoke:
         assert perf.scenario_by_name(perf.CANONICAL_2T).num_threads == 2
         with pytest.raises(KeyError):
             perf.scenario_by_name("definitely_not_a_scenario")
+
+
+class TestSchemaMismatchGuards:
+    """The compare path and the golden regenerator refuse to run across
+    schema/mode boundaries instead of silently comparing nothing."""
+
+    def test_compare_missing_mode_raises(self):
+        # Quick suite against a baseline holding only a "full" section:
+        # pre-guard this passed vacuously (zero deltas => ok).
+        full_only = perf.suite_to_doc(_suite([_result()]))
+        quick_suite = _suite([_result(quick=True)], quick=True)
+        with pytest.raises(perf.BaselineError, match="no 'quick' mode"):
+            perf.compare(quick_suite, full_only)
+
+    def test_golden_regenerator_refuses_wrong_schema(self, tmp_path):
+        from repro.perf import golden
+
+        fixture = tmp_path / "golden_stats.json"
+        fixture.write_text(json.dumps({"schema": "repro.golden/0",
+                                       "cells": {}}))
+        assert golden.main([str(fixture)]) == 1
+        # the stale fixture was left untouched
+        assert json.loads(fixture.read_text())["schema"] == "repro.golden/0"
+
+    def test_golden_regenerator_refuses_corrupt_fixture(self, tmp_path):
+        from repro.perf import golden
+
+        fixture = tmp_path / "golden_stats.json"
+        fixture.write_text("{not json")
+        assert golden.main([str(fixture)]) == 1
+        assert fixture.read_text() == "{not json"
+
+    def test_golden_schema_check_accepts_current(self, tmp_path):
+        from repro.perf import golden
+
+        fixture = tmp_path / "golden_stats.json"
+        fixture.write_text(json.dumps({"schema": golden.GOLDEN_SCHEMA,
+                                       "cells": {}}))
+        golden.check_fixture_schema(fixture)  # must not raise

@@ -2,8 +2,8 @@
 predictors, the LLSR, the MLP distance predictor, and the binary MLP
 predictor (Sections 4.1 and 4.2)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.predictors import (
     LLSR,

@@ -12,7 +12,6 @@ from repro.experiments.runner import (
 from repro.pipeline import SMTCore
 from repro.policies import MLPRunaheadPolicy, RunaheadPolicy, make_policy
 from repro.runahead import RunaheadCore
-
 from tests.test_flush_invariants import check_invariants
 
 

@@ -1,7 +1,7 @@
 """Tests for benchmark specs, body construction, and synthetic traces."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.config import scaled_memory
 from repro.isa import Op

@@ -1,7 +1,7 @@
 """Tests for the deterministic hashing utilities."""
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.util import bounded, mix64, uniform_double
 
