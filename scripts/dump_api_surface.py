@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Dump the public surface of the stable API layers, one name per line.
+
+``repro.api`` and ``repro.registry`` are the surfaces every future
+backend targets; this script enumerates them deterministically so CI can
+diff the output against the committed snapshot
+(``tests/data/api_surface.txt``) and fail on accidental breakage.
+
+For each module the dump lists every ``__all__`` export, and for
+exported classes the public methods/properties and dataclass fields —
+so a removed export, a renamed method, and a dropped spec field all
+show up as a diff.
+
+Regenerate the snapshot after an *intentional* surface change:
+
+    PYTHONPATH=src python scripts/dump_api_surface.py \
+        > tests/data/api_surface.txt
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+MODULES = ("repro.api", "repro.registry")
+
+
+def _class_lines(prefix: str, cls: type) -> list[str]:
+    lines = []
+    if dataclasses.is_dataclass(cls):
+        for f in dataclasses.fields(cls):
+            lines.append(f"{prefix}.{f.name} [field]")
+    for name, member in inspect.getmembers(cls):
+        if name.startswith("_"):
+            continue
+        # Builtin members inherited from Exception/object (args,
+        # with_traceback, add_note, ...) are interpreter surface, not ours.
+        if getattr(Exception, name, None) is member \
+                or getattr(object, name, None) is member:
+            continue
+        if dataclasses.is_dataclass(cls) and any(
+                f.name == name for f in dataclasses.fields(cls)):
+            continue
+        if inspect.isfunction(member) or inspect.ismethod(member):
+            lines.append(f"{prefix}.{name}()")
+        elif isinstance(inspect.getattr_static(cls, name), property):
+            lines.append(f"{prefix}.{name} [property]")
+        elif not inspect.isclass(member):
+            lines.append(f"{prefix}.{name}")
+    return lines
+
+
+def collect() -> list[str]:
+    import importlib
+
+    lines: list[str] = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for export in sorted(module.__all__):
+            obj = getattr(module, export)
+            prefix = f"{module_name}.{export}"
+            if inspect.isclass(obj):
+                lines.append(prefix)
+                lines.extend(_class_lines(prefix, obj))
+            elif callable(obj):
+                lines.append(f"{prefix}()")
+            else:
+                lines.append(prefix)
+    return lines
+
+
+def main() -> int:
+    print("\n".join(collect()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

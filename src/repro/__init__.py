@@ -21,17 +21,23 @@ ACM TACO 6(1), 2009).  The package contains:
 * :mod:`repro.jobs` — the parallel experiment-execution engine: content-
   hashed job specs, a persistent result store, and a multiprocessing
   batch executor (see EXPERIMENTS.md).
+* :mod:`repro.api` — the declarative run-spec layer over all of it:
+  :class:`~repro.api.RunSpec` (frozen, validated, JSON round-tripping,
+  content-hashed) and :class:`~repro.api.Session` (cached batch
+  execution, raw simulation, interval streaming); see docs/API.md.
+* :mod:`repro.registry` — one uniform name table for policies,
+  benchmarks, and perf scenarios.
 
 Quickstart::
 
+    from repro.api import RunSpec, Session
     from repro.config import scaled_config
-    from repro.experiments import evaluate_workload
 
     cfg = scaled_config(num_threads=2)
-    for policy in ("icount", "flush", "mlp_flush"):
-        r = evaluate_workload(("mcf", "galgel"), cfg, policy,
-                              max_commits=10_000)
-        print(f"{policy:>10}: STP={r.stp:.3f} ANTT={r.antt:.3f}")
+    specs = [RunSpec(("mcf", "galgel"), cfg, policy, max_commits=10_000)
+             for policy in ("icount", "flush", "mlp_flush")]
+    for spec, r in zip(specs, Session().run_many(specs)):
+        print(f"{spec.policy:>10}: STP={r.stp:.3f} ANTT={r.antt:.3f}")
 """
 
 from repro.config import (

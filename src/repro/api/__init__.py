@@ -1,0 +1,52 @@
+"""repro.api — the declarative run-spec layer every entry point shares.
+
+The paper's evaluation is one grid — (workload mix × fetch policy ×
+machine config × commit budget) scored by STP/ANTT — and this package
+is the one way to name a cell of it:
+
+* :class:`RunSpec` — a frozen, validated, content-hashable description
+  of one run, with JSON round-tripping (``repro.runspec/1``) and a
+  content hash byte-compatible with the :mod:`repro.jobs` cache keys.
+* :class:`Session` — the execution facade: ``run``/``run_many`` through
+  the persistent-store batch executor, ``simulate`` for raw
+  ``(stats, core)`` pairs, ``iter_intervals`` for streaming
+  per-interval statistics.
+* :class:`SpecError` — everything a bad spec can raise, including
+  unknown policy kwargs caught at construction time.
+
+The legacy surfaces (``repro.jobs.JobSpec``, ``repro.perf.Scenario``,
+``compare_policies``, the CLI) are adapters over this layer; new
+backends (remote executors, sharded sweeps, new scenario families)
+should target it directly.
+
+Quickstart::
+
+    from repro.api import RunSpec, Session
+    from repro.experiments import default_config
+
+    cfg = default_config(num_threads=2)
+    specs = [RunSpec(("mcf", "swim"), cfg, policy, max_commits=10_000)
+             for policy in ("icount", "flush", "mlp_flush")]
+    session = Session(workers=4)
+    for spec, result in zip(specs, session.run_many(specs)):
+        print(f"{spec}: STP={result.stp:.3f} ANTT={result.antt:.3f}")
+"""
+
+from repro.api.session import IntervalSnapshot, Session
+from repro.api.spec import (
+    SPEC_SCHEMA,
+    RunSpec,
+    SpecError,
+    policy_kwarg_names,
+    validate_policy_kwargs,
+)
+
+__all__ = [
+    "IntervalSnapshot",
+    "RunSpec",
+    "SPEC_SCHEMA",
+    "Session",
+    "SpecError",
+    "policy_kwarg_names",
+    "validate_policy_kwargs",
+]

@@ -1,0 +1,145 @@
+"""The execution facade over the jobs engine and the simulator core.
+
+A :class:`Session` is how declarative :class:`~repro.api.RunSpec` s get
+turned into results.  It owns the *how* — worker count, result store,
+progress reporting — so the specs themselves stay pure values:
+
+* :meth:`Session.run` / :meth:`Session.run_many` score workloads with
+  STP/ANTT through the :mod:`repro.jobs` batch executor (persistent
+  store, shared-baseline dedup, ``REPRO_JOBS`` workers, bit-identical
+  to serial).
+* :meth:`Session.simulate` drives one uncached simulation and returns
+  the raw ``(stats, core)`` pair — the primitive the perf harness and
+  the golden-stats matrix run on.
+* :meth:`Session.iter_intervals` streams per-interval snapshots from a
+  single in-process simulation, yielding after every ``every`` commits
+  without giving up cycle-exactness (the final snapshot matches a
+  one-shot :meth:`simulate` bit for bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.api.spec import RunSpec
+from repro.jobs.executor import BatchReport, run_jobs
+from repro.jobs.store import ResultStore, default_store
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class IntervalSnapshot:
+    """Measured-phase statistics after one streaming interval."""
+
+    index: int                     # 0-based interval number
+    cycles: int                    # measured cycles so far
+    committed: tuple[int, ...]     # per-thread committed instructions
+    ipcs: tuple[float, ...]        # per-thread IPC so far
+    total_ipc: float
+    done: bool                     # True on the final snapshot
+
+    @property
+    def total_committed(self) -> int:
+        return sum(self.committed)
+
+
+class Session:
+    """A configured way of executing run specs.
+
+    ``workers`` defaults to the ``REPRO_JOBS`` environment (1 = serial
+    in-process); ``store`` defaults to the environment-configured
+    persistent result store (pass ``None`` to force fresh simulation);
+    ``progress`` is an optional callable receiving one-line status
+    strings as jobs resolve.
+    """
+
+    def __init__(self, *, workers: int | None = None, store=_UNSET,
+                 progress=None):
+        self.workers = workers
+        self._store = store
+        self.progress = progress
+        #: Report of the most recent :meth:`run` / :meth:`run_many` batch.
+        self.last_report: BatchReport | None = None
+
+    @property
+    def store(self) -> ResultStore | None:
+        return default_store() if self._store is _UNSET else self._store
+
+    # ------------------------------------------------------------------ #
+    # cached, scored execution (the jobs engine)
+    # ------------------------------------------------------------------ #
+
+    def run_many(self, specs, progress=None) -> list:
+        """Execute specs as one deduplicated batch; results in order.
+
+        Returns one :class:`~repro.experiments.runner.WorkloadResult`
+        per spec (STP/ANTT scored against shared single-thread
+        baselines).  Memoized cells are served from the store without
+        re-simulation; ``self.last_report`` says what actually ran.
+        """
+        jobs = [spec.to_job() for spec in specs]
+        batch = run_jobs(jobs, workers=self.workers, store=self.store,
+                         progress=progress or self.progress)
+        self.last_report = batch.report
+        return [batch[job] for job in jobs]
+
+    def run(self, spec: RunSpec):
+        """Execute one spec; returns its scored ``WorkloadResult``."""
+        return self.run_many([spec])[0]
+
+    # ------------------------------------------------------------------ #
+    # raw, uncached execution (perf harness / golden matrix / streaming)
+    # ------------------------------------------------------------------ #
+
+    def _build_core(self, spec: RunSpec):
+        from repro.experiments.runner import build_core
+        return build_core(spec.workload, spec.config, spec.policy,
+                          spec.seed, **dict(spec.policy_kwargs))
+
+    def simulate(self, spec: RunSpec):
+        """One fresh, uncached simulation; returns ``(stats, core)``.
+
+        Exactly the construction the jobs executor and the perf
+        scenarios use, so the architectural outcome is identical across
+        every entry point (the golden matrix pins this).
+        """
+        core = self._build_core(spec)
+        stats = core.run(spec.max_commits, warmup=spec.warmup)
+        return stats, core
+
+    def iter_intervals(self, spec: RunSpec,
+                       every: int = 1_000) -> Iterator[IntervalSnapshot]:
+        """Stream snapshots every ``every`` commits from one simulation.
+
+        Runs the warmup phase silently, then yields an
+        :class:`IntervalSnapshot` each time the leading thread crosses
+        the next ``every``-commit boundary, ending with a ``done=True``
+        snapshot at the spec's full budget.  The simulation state is
+        continuous across yields — the final snapshot's counters are
+        bit-identical to a one-shot :meth:`simulate` of the same spec.
+        """
+        if every <= 0:
+            raise ValueError("every must be positive")
+        core = self._build_core(spec)
+        core.begin_measurement(spec.warmup)
+        target = every
+        index = 0
+        while True:
+            core.advance_to(min(target, spec.max_commits))
+            stats = core.stats
+            done = max(t.committed for t in stats.threads) \
+                >= spec.max_commits
+            n = len(stats.threads)
+            yield IntervalSnapshot(
+                index=index,
+                cycles=stats.cycles,
+                committed=tuple(t.committed for t in stats.threads),
+                ipcs=tuple(stats.ipc(i) for i in range(n)),
+                total_ipc=stats.total_ipc,
+                done=done)
+            if done:
+                return
+            index += 1
+            target += every

@@ -2,7 +2,12 @@
 
 Subcommands:
 
-* ``list``          — benchmarks (with Table I targets) and fetch policies
+* ``list``          — registered benchmarks, policies, and perf scenarios
+  (``repro list <kind>`` narrows to one registry)
+* ``run``           — execute a declarative run spec from a JSON file
+  (see ``repro spec``) through the jobs engine
+* ``spec``          — author and inspect run specs: ``spec make`` writes
+  one, ``spec show`` prints the canonical form and content hash
 * ``characterize``  — Table I / Figure 1 rows for chosen benchmarks
 * ``compare``       — STP/ANTT policy comparison on one or more workloads
 * ``mlp-cdf``       — Figure 4: measured MLP distance CDFs
@@ -24,7 +29,9 @@ from __future__ import annotations
 
 import argparse
 from collections.abc import Sequence
+from pathlib import Path
 
+from repro import registry
 from repro.experiments import (
     compare_policies,
     default_commits,
@@ -36,10 +43,33 @@ from repro.experiments import (
 from repro.experiments.characterize import characterize
 from repro.experiments.profile import profile_benchmark
 from repro.jobs import JobSpec, default_store, default_workers, run_jobs
-from repro.policies import MAIN_COMPARISON, POLICIES
+from repro.policies import MAIN_COMPARISON
 from repro.report import cdf_chart, format_table, hbar_chart
 from repro.workloads import TABLE_I
 from repro.workloads.mixes import workload_category
+
+
+def package_version() -> str:
+    """The distribution version, identical however the CLI is launched.
+
+    Installed checkouts answer from package metadata.  A plain
+    ``PYTHONPATH=src`` checkout has no installed distribution, so the
+    fallback reads the same version from the checkout's
+    ``pyproject.toml`` (``repro.__version__`` is the result-store
+    content-key stamp, *not* the release version — reporting it here
+    would cite a different version for identical code).
+    """
+    from importlib import metadata
+    try:
+        return metadata.version("repro-mlp-fetch")
+    except metadata.PackageNotFoundError:
+        pass
+    import tomllib
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        return tomllib.loads(pyproject.read_text())["project"]["version"]
+    except (OSError, KeyError, tomllib.TOMLDecodeError):
+        return "unknown (source tree without pyproject.toml)"
 
 
 def _split(arg: str) -> tuple[str, ...]:
@@ -53,7 +83,7 @@ def _parse_workloads(args: Sequence[str]) -> list[tuple[str, ...]]:
         raise SystemExit("all workloads must have the same thread count")
     for w in workloads:
         for name in w:
-            if name not in TABLE_I:
+            if name not in registry.benchmarks:
                 raise SystemExit(f"unknown benchmark {name!r}; "
                                  f"see `python -m repro list`")
     return workloads
@@ -63,17 +93,124 @@ def _parse_workloads(args: Sequence[str]) -> list[tuple[str, ...]]:
 # subcommands
 # --------------------------------------------------------------------- #
 
-def cmd_list(_args) -> int:
+def _list_benchmarks() -> None:
     rows = [(name, t.lll_per_kilo, t.mlp, f"{t.mlp_impact:.1%}", t.category)
             for name, t in sorted(TABLE_I.items())]
     print(format_table(
         ("benchmark", "LLL/1K", "MLP", "impact", "class"), rows))
-    print()
+    extra = sorted(set(registry.benchmarks.names()) - set(TABLE_I))
+    if extra:
+        print(f"  (registered without Table I targets: {', '.join(extra)})")
+
+
+def _list_policies() -> None:
     print("policies:")
-    for name, cls in POLICIES.items():
+    for name, cls in registry.policies.items():
         doc = (cls.__doc__ or "").strip()
         summary = doc.splitlines()[0] if doc else cls.__name__
         print(f"  {name:<20} {summary}")
+
+
+def _list_scenarios() -> None:
+    print("perf scenarios:")
+    for name, sc in registry.scenarios.items():
+        print(f"  {name:<24} {sc.num_threads}t {sc.policy:<12} "
+              f"{sc.commits} commits (quick {sc.quick_commits})")
+
+
+_LIST_KINDS = {
+    "benchmarks": _list_benchmarks,
+    "policies": _list_policies,
+    "scenarios": _list_scenarios,
+}
+
+
+def cmd_list(args) -> int:
+    import sys
+
+    kind = getattr(args, "kind", None)
+    if kind is not None:
+        try:
+            canonical = registry.canonical_kind(kind)
+        except registry.RegistryError:
+            print(f"repro list: unknown kind {kind!r}; choose one of: "
+                  f"{', '.join(sorted(_LIST_KINDS))} (or no argument "
+                  f"for everything)", file=sys.stderr)
+            return 2
+        # Every canonical kind has a bespoke table; a future fourth
+        # registry kind gets added to both dicts.
+        _LIST_KINDS[canonical]()
+        return 0
+    _list_benchmarks()
+    print()
+    _list_policies()
+    print()
+    _list_scenarios()
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.api import RunSpec, Session, SpecError
+
+    path = Path(args.spec)
+    try:
+        spec = RunSpec.from_json(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"repro run: cannot read {path}: {exc}")
+    except SpecError as exc:
+        raise SystemExit(f"repro run: {path}: {exc}")
+    session = Session(workers=args.jobs,
+                      progress=print if args.verbose else None)
+    result = session.run(spec)
+    print(result)
+    print(f"\nspec:   {spec}")
+    print(f"hash:   {spec.content_hash()}")
+    print(f"[jobs] {session.last_report}")
+    return 0
+
+
+def _spec_from_args(args):
+    from repro.api import RunSpec, SpecError
+
+    names = _split(args.workload)
+    try:
+        return RunSpec(
+            workload=names,
+            config=default_config(num_threads=len(names)),
+            policy=args.policy,
+            max_commits=args.commits,
+            warmup=args.warmup,
+            seed=args.seed)
+    except SpecError as exc:
+        raise SystemExit(f"repro spec: {exc}")
+
+
+def cmd_spec_make(args) -> int:
+    spec = _spec_from_args(args)
+    text = spec.to_json()
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {spec} -> {args.output}")
+        print(f"hash: {spec.content_hash()}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_spec_show(args) -> int:
+    from repro.api import RunSpec, SpecError
+
+    path = Path(args.spec)
+    try:
+        spec = RunSpec.from_json(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"repro spec show: cannot read {path}: {exc}")
+    except SpecError as exc:
+        raise SystemExit(f"repro spec show: {path}: {exc}")
+    print(spec.to_json())
+    print(f"\nspec:    {spec}")
+    print(f"threads: {spec.num_threads}")
+    print(f"hash:    {spec.content_hash()}")
     return 0
 
 
@@ -158,7 +295,7 @@ def cmd_sweep(args) -> int:
 def _parse_policies(arg: str | None) -> tuple[str, ...]:
     policies = _split(arg) if arg else MAIN_COMPARISON
     for p in policies:
-        if p not in POLICIES:
+        if p not in registry.policies:
             raise SystemExit(f"unknown policy {p!r}")
     return policies
 
@@ -321,10 +458,41 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="MLP-aware SMT fetch policy experiments "
                     "(Eyerman & Eeckhout, HPCA 2007)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="benchmarks and policies").set_defaults(
-        fn=cmd_list)
+    p = sub.add_parser("list",
+                       help="registered benchmarks/policies/scenarios")
+    p.add_argument("kind", nargs="?", default=None,
+                   help="benchmarks | policies | scenarios "
+                        "(default: everything)")
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run", help="execute a run spec JSON file")
+    p.add_argument("spec", help="path to a repro.runspec/1 JSON file")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or 1)")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("spec", help="author / inspect declarative run specs")
+    ssub = p.add_subparsers(dest="spec_command", required=True)
+    s = ssub.add_parser("make", help="build a run spec and print/write it")
+    s.add_argument("-w", "--workload", required=True, metavar="A,B[,C,D]",
+                   help="comma-separated benchmark names")
+    s.add_argument("-p", "--policy", default="icount")
+    s.add_argument("-c", "--commits", type=int, default=None)
+    s.add_argument("--warmup", type=int, default=None,
+                   help="default: REPRO_WARMUP or 4000")
+    s.add_argument("--seed", type=int, default=0,
+                   help="trace-seed salt (0 = canonical streams)")
+    s.add_argument("-o", "--output", help="write the JSON here")
+    s.set_defaults(fn=cmd_spec_make)
+    s = ssub.add_parser("show",
+                        help="validate a spec file, print it + content hash")
+    s.add_argument("spec", help="path to a repro.runspec/1 JSON file")
+    s.set_defaults(fn=cmd_spec_show)
 
     p = sub.add_parser("characterize", help="Table I / Figure 1")
     p.add_argument("-b", "--benchmarks", help="comma-separated names")

@@ -13,7 +13,7 @@ processor).  Two factory functions are provided:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 import hashlib
 import json
 
@@ -190,6 +190,64 @@ class SMTConfig:
         blob = json.dumps(asdict(self), sort_keys=True,
                           separators=(",", ":"))
         return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def config_to_dict(cfg: SMTConfig) -> dict:
+    """``cfg`` as a plain JSON-serializable tree (the ``asdict`` layout).
+
+    The same tree :meth:`SMTConfig.cache_key` hashes, so a config rebuilt
+    with :func:`config_from_dict` has an identical content fingerprint.
+    """
+    return asdict(cfg)
+
+
+#: Resolved annotations per config dataclass (annotations are strings
+#: under ``from __future__ import annotations``); filled lazily so the
+#: codec discovers nested dataclass fields from the classes themselves —
+#: a field added to any config dataclass deserializes correctly with no
+#: parallel table to update.
+_FIELD_TYPES: dict[type, dict[str, type]] = {}
+
+
+def _field_types(cls: type) -> dict[str, type]:
+    cached = _FIELD_TYPES.get(cls)
+    if cached is None:
+        from typing import get_type_hints
+        hints = get_type_hints(cls)
+        cached = _FIELD_TYPES[cls] = {f.name: hints[f.name]
+                                      for f in fields(cls)}
+    return cached
+
+
+def _build_from_dict(cls: type, data: dict):
+    types = _field_types(cls)
+    missing = set(types) - set(data)
+    if missing:
+        raise TypeError(
+            f"config tree for {cls.__name__} is missing field(s): "
+            f"{', '.join(sorted(missing))}")
+    kwargs = {}
+    for key, value in data.items():
+        sub = types.get(key)
+        kwargs[key] = (_build_from_dict(sub, value)
+                       if isinstance(sub, type) and is_dataclass(sub)
+                       and isinstance(value, dict)
+                       else value)
+    return cls(**kwargs)
+
+
+def config_from_dict(data: dict) -> SMTConfig:
+    """Rebuild an :class:`SMTConfig` from a :func:`config_to_dict` tree.
+
+    The tree must be complete: unknown keys raise ``TypeError`` (the
+    dataclass constructors reject them) and missing keys raise too — a
+    truncated or mis-spelled config must never silently alias onto the
+    defaults.
+    """
+    if not isinstance(data, dict):
+        raise TypeError(f"config tree must be a dict, got "
+                        f"{type(data).__name__}")
+    return _build_from_dict(SMTConfig, data)
 
 
 def paper_baseline(num_threads: int = 2, **overrides) -> SMTConfig:

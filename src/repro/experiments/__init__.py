@@ -22,6 +22,7 @@ from repro.experiments.profile import ProfileResult, profile_benchmark
 from repro.experiments.runner import (
     SingleThreadResult,
     WorkloadResult,
+    build_core,
     build_workload_result,
     clear_baseline_cache,
     evaluate_workload,
@@ -39,6 +40,7 @@ __all__ = [
     "ProfileResult",
     "SingleThreadResult",
     "WorkloadResult",
+    "build_core",
     "build_workload_result",
     "cells_from_batch",
     "characterize",

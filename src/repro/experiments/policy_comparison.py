@@ -4,6 +4,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import SimpleNamespace
 
 from repro.config import SMTConfig
 from repro.experiments.defaults import default_commits, default_config
@@ -23,34 +24,55 @@ class PolicyCell:
     result: WorkloadResult
 
 
+def cells_from_results(specs, results) \
+        -> dict[tuple[tuple[str, ...], str], PolicyCell]:
+    """Index executed :class:`repro.api.RunSpec` s as a (workload,
+    policy) -> :class:`PolicyCell` grid.
+
+    ``results`` is the matching :meth:`repro.api.Session.run_many`
+    output, in spec order.  The one place the cell layout is built from
+    spec/result pairs — :func:`compare_policies` and the sweeps both go
+    through here.
+    """
+    return {
+        (spec.workload, spec.policy): PolicyCell(
+            spec.workload, spec.policy, result.stp, result.antt,
+            result.ipcs, result)
+        for spec, result in zip(specs, results)
+    }
+
+
 def cells_from_batch(specs, batch) \
         -> dict[tuple[tuple[str, ...], str], PolicyCell]:
     """Index an executed :class:`~repro.jobs.executor.BatchResult` of
-    workload jobs as a (names, policy) -> :class:`PolicyCell` grid."""
-    cells: dict[tuple[tuple[str, ...], str], PolicyCell] = {}
-    for spec in specs:
-        result = batch[spec]
-        cells[(spec.names, spec.policy)] = PolicyCell(
-            spec.names, spec.policy, result.stp, result.antt,
-            result.ipcs, result)
-    return cells
+    workload jobs as a (names, policy) -> :class:`PolicyCell` grid.
+
+    Deprecated adapter for :class:`~repro.jobs.JobSpec` batches; new
+    code expresses grids as :class:`repro.api.RunSpec` s and uses
+    :func:`cells_from_results`.  Kept for one release per the shim
+    policy; delegates so there is only one cell-layout builder.
+    """
+    views = [SimpleNamespace(workload=spec.names, policy=spec.policy)
+             for spec in specs]
+    return cells_from_results(views, [batch[spec] for spec in specs])
 
 
 def compare_policies(workloads, policies, cfg: SMTConfig | None = None,
                      max_commits: int | None = None,
                      progress=None, workers: int | None = None,
                      ) -> dict[tuple[tuple[str, ...], str], PolicyCell]:
-    """Evaluate every (workload × policy) cell through the jobs engine.
+    """Evaluate every (workload × policy) cell through the run-spec layer.
 
     ``workloads`` is an iterable of benchmark-name tuples; all must match
     ``cfg.num_threads``.  ``progress`` is an optional callable invoked with
     a status string after each cell (used by the CLI and benches).
     ``workers`` overrides the ``REPRO_JOBS`` worker count; results are
-    bit-identical regardless.  Cells memoized in the persistent result
-    store are not re-simulated.
+    bit-identical regardless.  The grid is expressed as
+    :class:`repro.api.RunSpec` s and executed as one deduplicated
+    :class:`repro.api.Session` batch, so cells memoized in the persistent
+    result store are not re-simulated.
     """
-    from repro.jobs.executor import run_jobs   # lazy: layering rule
-    from repro.jobs.spec import JobSpec
+    from repro.api import RunSpec, Session   # lazy: layering rule
     workloads = [tuple(w) for w in workloads]
     if not workloads:
         raise ValueError("need at least one workload")
@@ -58,10 +80,11 @@ def compare_policies(workloads, policies, cfg: SMTConfig | None = None,
         cfg = default_config(num_threads=len(workloads[0]))
     if max_commits is None:
         max_commits = default_commits()
-    specs = [JobSpec.workload(names, cfg, policy, max_commits)
+    specs = [RunSpec(workload=names, config=cfg, policy=policy,
+                     max_commits=max_commits)
              for names in workloads for policy in policies]
-    batch = run_jobs(specs, workers=workers, progress=progress)
-    return cells_from_batch(specs, batch)
+    session = Session(workers=workers, progress=progress)
+    return cells_from_results(specs, session.run_many(specs))
 
 
 def summarize_policies(cells, workloads, policies) \

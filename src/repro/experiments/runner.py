@@ -23,12 +23,29 @@ _THREAD_BASE_SHIFT = 48
 _PC_BASE_SHIFT = 20
 
 
-def stable_seed(name: str) -> int:
-    """Deterministic per-benchmark seed (independent of thread slot)."""
+# Domain tag for salted seeds.  Canonical seeds hash only name bytes
+# (each < 256), so no benchmark name can ever produce a salted stream's
+# hash: the tag keeps "name2's canonical trace" and "name1 at salt k"
+# disjoint for every possible registered name.
+_SEED_DOMAIN = 0x5EED
+
+
+def stable_seed(name: str, salt: int = 0) -> int:
+    """Deterministic per-benchmark seed (independent of thread slot).
+
+    ``salt=0`` is the canonical stream every published number uses; a
+    nonzero salt (a :class:`repro.api.RunSpec` ``seed``) derives an
+    alternate but equally deterministic instance of the same program,
+    domain-separated so it can never alias another benchmark's
+    canonical stream.
+    """
+    if salt:
+        return mix64(_SEED_DOMAIN, salt, len(name), *name.encode())
     return mix64(*name.encode())
 
 
-def trace_for(name: str, cfg: SMTConfig, slot: int = 0) -> SyntheticTrace:
+def trace_for(name: str, cfg: SMTConfig, slot: int = 0,
+              seed: int = 0) -> SyntheticTrace:
     """Build the trace for ``name`` placed in hardware-thread ``slot``.
 
     The generated instruction stream is identical for every slot (only the
@@ -36,7 +53,7 @@ def trace_for(name: str, cfg: SMTConfig, slot: int = 0) -> SyntheticTrace:
     multithreaded runs execute the same program.
     """
     return SyntheticTrace(
-        benchmark(name), cfg.memory, seed=stable_seed(name),
+        benchmark(name), cfg.memory, seed=stable_seed(name, seed),
         base=(slot + 1) << _THREAD_BASE_SHIFT,
         pc_base=(slot + 1) << _PC_BASE_SHIFT)
 
@@ -91,13 +108,13 @@ def run_single(name: str, cfg: SMTConfig, max_commits: int,
 
 
 def simulate_baseline(name: str, st_cfg: SMTConfig, max_commits: int,
-                      warmup: int) -> SingleThreadResult:
+                      warmup: int, seed: int = 0) -> SingleThreadResult:
     """Uncached single-threaded ICOUNT run with per-commit cycle stamps.
 
     The simulation primitive behind :func:`single_thread_baseline` and the
     :mod:`repro.jobs` executor; ``st_cfg`` must already be single-threaded.
     """
-    trace = trace_for(name, st_cfg, slot=0)
+    trace = trace_for(name, st_cfg, slot=0, seed=seed)
     core = SMTCore(st_cfg, [trace], make_policy("icount"))
     core.threads[0].commit_cycles = []
     stats = core.run(max_commits, warmup=warmup)
@@ -109,7 +126,8 @@ _baseline_cache: dict = {}
 
 def single_thread_baseline(name: str, cfg: SMTConfig,
                            max_commits: int,
-                           warmup: int | None = None) -> SingleThreadResult:
+                           warmup: int | None = None,
+                           seed: int = 0) -> SingleThreadResult:
     """Cached single-threaded ICOUNT run of ``name`` (CPI_ST source).
 
     Two cache layers: a process-local dict (hits return the identical
@@ -118,7 +136,7 @@ def single_thread_baseline(name: str, cfg: SMTConfig,
     """
     from repro.jobs.spec import JobSpec          # lazy: layering rule
     from repro.jobs.store import default_store
-    spec = JobSpec.baseline(name, cfg, max_commits, warmup)
+    spec = JobSpec.baseline(name, cfg, max_commits, warmup, seed=seed)
     cached = _baseline_cache.get(spec)
     if cached is not None:
         return cached
@@ -126,7 +144,7 @@ def single_thread_baseline(name: str, cfg: SMTConfig,
     result = store.get(spec) if store is not None else None
     if result is None:
         result = simulate_baseline(name, spec.config, max_commits,
-                                   spec.warmup)
+                                   spec.warmup, seed=seed)
         if store is not None:
             store.put(spec, result)
     _baseline_cache[spec] = result
@@ -169,19 +187,33 @@ class WorkloadResult:
                 f"ANTT={self.antt:5.3f}")
 
 
-def run_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
-                 policy: str = "icount", max_commits: int = 20_000,
-                 warmup: int | None = None,
-                 **policy_kwargs) -> tuple[CoreStats, SMTCore]:
-    """Simulate a multiprogram workload; returns (stats, core)."""
+def build_core(names: tuple[str, ...] | list[str], cfg: SMTConfig,
+               policy: str = "icount", seed: int = 0,
+               **policy_kwargs) -> SMTCore:
+    """Construct the simulation core for a workload.
+
+    The single construction path: :func:`run_workload` (and through it
+    the jobs executor) and :meth:`repro.api.Session.simulate` /
+    ``iter_intervals`` all build here, so every entry point wires
+    traces, policy, and core class identically.
+    """
     names = tuple(names)
     if len(names) != cfg.num_threads:
         raise ValueError(
             f"workload {names} needs a {len(names)}-thread config, "
             f"got num_threads={cfg.num_threads}")
-    traces = [trace_for(name, cfg, slot=i) for i, name in enumerate(names)]
+    traces = [trace_for(name, cfg, slot=i, seed=seed)
+              for i, name in enumerate(names)]
     pol = make_policy(policy, **policy_kwargs)
-    core = core_for(pol)(cfg, traces, pol)
+    return core_for(pol)(cfg, traces, pol)
+
+
+def run_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
+                 policy: str = "icount", max_commits: int = 20_000,
+                 warmup: int | None = None, seed: int = 0,
+                 **policy_kwargs) -> tuple[CoreStats, SMTCore]:
+    """Simulate a multiprogram workload; returns (stats, core)."""
+    core = build_core(names, cfg, policy, seed, **policy_kwargs)
     stats = core.run(max_commits,
                      warmup=default_warmup() if warmup is None else warmup)
     return stats, core
@@ -210,12 +242,12 @@ def build_workload_result(names, policy: str, stats: CoreStats,
 
 def evaluate_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
                       policy: str = "icount", max_commits: int = 20_000,
-                      warmup: int | None = None,
+                      warmup: int | None = None, seed: int = 0,
                       **policy_kwargs) -> WorkloadResult:
     """Run a workload and score it with STP and ANTT (Section 5)."""
     names = tuple(names)
     stats, _core = run_workload(names, cfg, policy, max_commits,
-                                warmup=warmup, **policy_kwargs)
-    baselines = [single_thread_baseline(name, cfg, max_commits)
+                                warmup=warmup, seed=seed, **policy_kwargs)
+    baselines = [single_thread_baseline(name, cfg, max_commits, seed=seed)
                  for name in names]
     return build_workload_result(names, policy, stats, baselines)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.config import SMTConfig, with_memory_latency, with_window_size
 from repro.experiments.defaults import default_commits, default_config
 from repro.experiments.policy_comparison import (
-    cells_from_batch,
+    cells_from_results,
     summarize_policies,
 )
 
@@ -26,24 +26,26 @@ def _sweep(points, make_cfg, workloads, policies, max_commits, progress,
            workers=None):
     """Submit the whole (point × workload × policy) grid as one batch.
 
-    Batching across design points keeps every worker busy for the whole
-    sweep (no per-point barrier) and lets the engine simulate each
-    point's single-thread baselines exactly once across all policies.
+    The grid is expressed as :class:`repro.api.RunSpec` s and executed
+    as one :class:`repro.api.Session` batch.  Batching across design
+    points keeps every worker busy for the whole sweep (no per-point
+    barrier) and lets the engine simulate each point's single-thread
+    baselines exactly once across all policies.
     """
-    from repro.jobs.executor import run_jobs   # lazy: layering rule
-    from repro.jobs.spec import JobSpec
+    from repro.api import RunSpec, Session   # lazy: layering rule
     if "icount" not in policies:
         policies = ("icount", *policies)
     workloads = [tuple(w) for w in workloads]
-    grid = {point: [JobSpec.workload(names, make_cfg(point), policy,
-                                     max_commits)
+    grid = {point: [RunSpec(workload=names, config=make_cfg(point),
+                            policy=policy, max_commits=max_commits)
                     for names in workloads for policy in policies]
             for point in points}
-    batch = run_jobs([spec for specs in grid.values() for spec in specs],
-                     workers=workers, progress=progress)
+    session = Session(workers=workers, progress=progress)
+    flat = [spec for specs in grid.values() for spec in specs]
+    by_spec = dict(zip(flat, session.run_many(flat)))
     results = {}
     for point, specs in grid.items():
-        cells = cells_from_batch(specs, batch)
+        cells = cells_from_results(specs, [by_spec[s] for s in specs])
         summary = summarize_policies(cells, workloads, policies)
         results[point] = _relative_to_icount(summary)
     return results

@@ -44,6 +44,8 @@ from repro.jobs.spec import (
     SCHEMA_VERSION,
     JobSpec,
     UncacheableJobError,
+    canonical_kwargs,
+    content_key,
 )
 from repro.jobs.store import (
     ResultStore,
@@ -63,6 +65,8 @@ __all__ = [
     "UncacheableJobError",
     "cache_enabled",
     "cache_root",
+    "canonical_kwargs",
+    "content_key",
     "counters",
     "default_store",
     "default_workers",

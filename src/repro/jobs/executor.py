@@ -105,13 +105,13 @@ class BatchResult:
 
 def _baseline_job(spec: JobSpec):
     return simulate_baseline(spec.names[0], spec.config, spec.max_commits,
-                             spec.warmup)
+                             spec.warmup, seed=spec.seed)
 
 
 def _workload_job(spec: JobSpec):
     stats, _core = run_workload(spec.names, spec.config, spec.policy,
                                 spec.max_commits, warmup=spec.warmup,
-                                **dict(spec.policy_kwargs))
+                                seed=spec.seed, **dict(spec.policy_kwargs))
     return stats
 
 

@@ -37,7 +37,7 @@ class UncacheableJobError(ValueError):
     """A job's policy kwargs cannot be canonically serialized."""
 
 
-def _canonical(value: Any) -> Any:
+def canonical_kwargs(value: Any) -> Any:
     """Reduce ``value`` to a JSON-stable tree, or raise.
 
     Policy kwargs are usually numbers or strings; anything fancier (open
@@ -47,11 +47,40 @@ def _canonical(value: Any) -> Any:
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, (tuple, list)):
-        return [_canonical(v) for v in value]
+        return [canonical_kwargs(v) for v in value]
     if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+        return {str(k): canonical_kwargs(v) for k, v in sorted(value.items())}
     raise UncacheableJobError(
         f"policy kwarg of type {type(value).__name__} has no canonical form")
+
+
+def content_key(kind: str, names, config: SMTConfig, max_commits: int,
+                warmup: int, policy: str, policy_kwargs, seed: int = 0) -> str:
+    """The stable hex content key over one simulation's field tree.
+
+    The single hashing authority for the whole repo: :class:`JobSpec`
+    and :class:`repro.api.RunSpec` both key through here, which is what
+    makes a spec serialized by the new API hit cache entries written by
+    the old jobs path (and vice versa).  ``seed=0`` — the canonical
+    per-benchmark trace seeds — is omitted from the payload so that keys
+    predating the seed field are unchanged.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "repro": __version__,
+        "kind": kind,
+        "names": list(names),
+        "config": config.cache_key(),
+        "max_commits": max_commits,
+        "warmup": warmup,
+        "policy": policy,
+        "policy_kwargs": [[k, canonical_kwargs(v)]
+                          for k, v in policy_kwargs],
+    }
+    if seed:
+        payload["seed"] = seed
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -71,11 +100,12 @@ class JobSpec:
     warmup: int
     policy: str = "icount"
     policy_kwargs: tuple[tuple[str, Any], ...] = ()
+    seed: int = 0                   # 0 = canonical per-benchmark seeds
 
     @classmethod
     def workload(cls, names, config: SMTConfig, policy: str = "icount",
                  max_commits: int = 20_000, warmup: int | None = None,
-                 **policy_kwargs) -> "JobSpec":
+                 seed: int = 0, **policy_kwargs) -> "JobSpec":
         """A multiprogram run evaluated with STP/ANTT."""
         names = tuple(names)
         if len(names) != config.num_threads:
@@ -86,17 +116,32 @@ class JobSpec:
                    max_commits=max_commits,
                    warmup=default_warmup() if warmup is None else warmup,
                    policy=policy,
-                   policy_kwargs=tuple(sorted(policy_kwargs.items())))
+                   policy_kwargs=tuple(sorted(policy_kwargs.items())),
+                   seed=seed)
 
     @classmethod
     def baseline(cls, name: str, config: SMTConfig, max_commits: int,
-                 warmup: int | None = None) -> "JobSpec":
+                 warmup: int | None = None, seed: int = 0) -> "JobSpec":
         """The single-threaded ICOUNT run that supplies CPI_ST for ``name``."""
         return cls(kind=KIND_BASELINE, names=(name,),
                    config=single_thread_variant(config),
                    max_commits=max_commits,
                    warmup=default_warmup() if warmup is None else warmup,
-                   policy="icount")
+                   policy="icount", seed=seed)
+
+    @classmethod
+    def from_runspec(cls, spec) -> "JobSpec":
+        """Adapt a :class:`repro.api.RunSpec` into its workload job.
+
+        ``JobSpec`` is the execution/cache-key shape of a declarative
+        ``RunSpec``: same fields, same content key (both route through
+        :func:`content_key`), plus the workload/baseline ``kind`` axis
+        the executor needs.
+        """
+        return cls(kind=KIND_WORKLOAD, names=tuple(spec.workload),
+                   config=spec.config, max_commits=spec.max_commits,
+                   warmup=spec.warmup, policy=spec.policy,
+                   policy_kwargs=tuple(spec.policy_kwargs), seed=spec.seed)
 
     def baseline_specs(self) -> tuple["JobSpec", ...]:
         """The per-program baseline jobs this workload job depends on.
@@ -109,25 +154,15 @@ class JobSpec:
         if self.kind != KIND_WORKLOAD:
             return ()
         return tuple(
-            JobSpec.baseline(name, self.config, self.max_commits)
+            JobSpec.baseline(name, self.config, self.max_commits,
+                             seed=self.seed)
             for name in self.names)
 
     def cache_key(self) -> str:
         """Stable hex content key (raises for unserializable kwargs)."""
-        payload = {
-            "schema": SCHEMA_VERSION,
-            "repro": __version__,
-            "kind": self.kind,
-            "names": list(self.names),
-            "config": self.config.cache_key(),
-            "max_commits": self.max_commits,
-            "warmup": self.warmup,
-            "policy": self.policy,
-            "policy_kwargs": [[k, _canonical(v)]
-                              for k, v in self.policy_kwargs],
-        }
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+        return content_key(self.kind, self.names, self.config,
+                           self.max_commits, self.warmup, self.policy,
+                           self.policy_kwargs, seed=self.seed)
 
     def __str__(self) -> str:
         mix = "-".join(self.names)

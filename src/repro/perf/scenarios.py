@@ -48,6 +48,18 @@ class Scenario:
         return scaled_config(num_threads=self.num_threads,
                              scale=_CACHE_SCALE)
 
+    def to_runspec(self, quick: bool = False):
+        """This scenario as a declarative :class:`repro.api.RunSpec`.
+
+        The spec pins the same (workload, policy, budget, warmup,
+        config) coordinate; a scenario is just a *named* run spec with a
+        quick-mode budget attached.
+        """
+        from repro.api import RunSpec    # lazy: api sits above perf
+        return RunSpec(workload=self.workload, config=self.config(),
+                       policy=self.policy, max_commits=self.budget(quick),
+                       warmup=self.warmup)
+
 
 #: The tracked suite.  ``smt2_mlp_stall`` is the canonical 2-thread
 #: scenario quoted in speedup claims; the single-thread and 4-thread
@@ -84,11 +96,13 @@ CANONICAL_2T = "smt2_mlp_stall"
 
 
 def scenario_by_name(name: str) -> Scenario:
-    for sc in CANONICAL_SCENARIOS:
-        if sc.name == name:
-            return sc
-    known = ", ".join(s.name for s in CANONICAL_SCENARIOS)
-    raise KeyError(f"unknown perf scenario {name!r} (known: {known})")
+    """Look up a scenario through :data:`repro.registry.scenarios`.
+
+    Seeded from :data:`CANONICAL_SCENARIOS`; scenarios registered at
+    runtime resolve here too.  Raises ``KeyError`` for unknown names.
+    """
+    from repro import registry     # late: registry seeds itself from here
+    return registry.scenarios.get(name)
 
 
 def run_scenario(sc: Scenario, quick: bool = False):
@@ -96,14 +110,10 @@ def run_scenario(sc: Scenario, quick: bool = False):
 
     Deterministic: traces are seeded per benchmark name, the config is
     env-independent, and the core is the one the policy requires.
+    Driven through :meth:`repro.api.Session.simulate`, so the perf
+    harness and golden matrix time/pin exactly what every other entry
+    point executes.
     """
-    from repro.experiments.runner import core_for, trace_for
-    from repro.policies import make_policy
+    from repro.api import Session    # lazy: api sits above perf
 
-    cfg = sc.config()
-    traces = [trace_for(name, cfg, slot=i)
-              for i, name in enumerate(sc.workload)]
-    policy = make_policy(sc.policy)
-    core = core_for(policy)(cfg, traces, policy)
-    stats = core.run(sc.budget(quick), warmup=sc.warmup)
-    return stats, core
+    return Session().simulate(sc.to_runspec(quick))

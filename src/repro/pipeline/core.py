@@ -266,19 +266,44 @@ class SMTCore:
         that many instructions, then resets all measurements (caches,
         predictors and branch state stay warm) before the measured phase.
         """
+        self.begin_measurement(warmup, max_cycles)
+        self.advance_to(max_commits, max_cycles)
+        return self.stats
+
+    def begin_measurement(self, warmup: int,
+                          max_cycles: int | None = None) -> None:
+        """Execute the warmup phase (if any) and zero the measurements.
+
+        Half of the :meth:`run` protocol, exposed so incremental drivers
+        (:meth:`repro.api.Session.iter_intervals`) share the exact
+        warmup/settle/reset sequence instead of re-implementing it.
+        """
         if warmup > 0:
             try:
                 self._run_until(warmup, max_cycles)
             finally:
                 self._settle_stall_accounting()
             self.reset_measurement()
-        try:
-            self._run_until(max_commits, max_cycles)
-        finally:
-            self._settle_stall_accounting()
+
+    def advance_to(self, commits: int,
+                   max_cycles: int | None = None) -> bool:
+        """Resume the measured phase until ``commits`` is reached.
+
+        The other half of the :meth:`run` protocol, resumable: call with
+        increasing targets to step one simulation in increments.  Settles
+        open stall intervals and refreshes ``stats.cycles`` /
+        ``stats.ll_intervals`` on every return, so the statistics are
+        consistent at each boundary; returns True once some thread has
+        committed ``commits`` instructions.
+        """
+        if self._committed_watermark < commits:
+            try:
+                self._run_until(commits, max_cycles)
+            finally:
+                self._settle_stall_accounting()
         self.stats.cycles = self.cycle - self._measure_start
         self.stats.ll_intervals = self.hierarchy.ll_intervals
-        return self.stats
+        return self._committed_watermark >= commits
 
     def _run_until(self, max_commits: int, max_cycles: int | None) -> None:
         limit = max_cycles if max_cycles is not None else self.cfg.max_cycles

@@ -87,12 +87,16 @@ EXTENSIONS = ("dg", "pdg", "learning", "mlp_dcra", "cgmt", "mlp_cgmt",
 
 
 def make_policy(name: str, **kwargs) -> FetchPolicy:
-    """Instantiate a policy by its registry name."""
-    try:
-        cls = POLICIES[name]
-    except KeyError:
-        known = ", ".join(sorted(POLICIES))
-        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    """Instantiate a policy by its registered name.
+
+    Lookup goes through :data:`repro.registry.policies` (seeded from
+    :data:`POLICIES`), so policies registered at runtime resolve here
+    too.  Raises ``KeyError`` for unknown names; for construction-time
+    kwarg validation with a friendlier error, build a
+    :class:`repro.api.RunSpec` instead.
+    """
+    from repro import registry     # late: registry seeds itself from here
+    cls = registry.policies.get(name)
     return cls(**kwargs)
 
 

@@ -189,9 +189,11 @@ BENCHMARKS: dict[str, BenchmarkSpec] = {
 
 
 def benchmark(name: str) -> BenchmarkSpec:
-    """Look up a benchmark analog by SPEC CPU2000 name."""
-    try:
-        return BENCHMARKS[name]
-    except KeyError:
-        known = ", ".join(sorted(BENCHMARKS))
-        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    """Look up a benchmark analog by SPEC CPU2000 name.
+
+    Routed through :data:`repro.registry.benchmarks` (seeded from
+    :data:`BENCHMARKS`), so analogs registered at runtime resolve
+    everywhere traces are built.  Raises ``KeyError`` for unknown names.
+    """
+    from repro import registry     # late: registry seeds itself from here
+    return registry.benchmarks.get(name)

@@ -1,0 +1,43 @@
+"""The stable-surface snapshot: repro.api / repro.registry may not drift.
+
+``tests/data/api_surface.txt`` is the committed enumeration of the
+public API layer (exports, class methods, dataclass fields).  If this
+test fails you either broke the stable surface by accident — undo — or
+changed it intentionally, in which case regenerate the snapshot:
+
+    PYTHONPATH=src python scripts/dump_api_surface.py \
+        > tests/data/api_surface.txt
+
+CI runs the same diff as a standalone job (see ``api-surface`` in
+``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+import sys
+
+_REPO = Path(__file__).resolve().parents[1]
+_SNAPSHOT = _REPO / "tests" / "data" / "api_surface.txt"
+
+
+def _collect() -> list[str]:
+    sys.path.insert(0, str(_REPO / "scripts"))
+    try:
+        import dump_api_surface
+        return dump_api_surface.collect()
+    finally:
+        sys.path.pop(0)
+
+
+def test_api_surface_matches_snapshot():
+    current = _collect()
+    committed = _SNAPSHOT.read_text().splitlines()
+    added = sorted(set(current) - set(committed))
+    removed = sorted(set(committed) - set(current))
+    assert current == committed, (
+        "public API surface drifted from tests/data/api_surface.txt\n"
+        f"  added:   {added}\n"
+        f"  removed: {removed}\n"
+        "If intentional, regenerate: PYTHONPATH=src python "
+        "scripts/dump_api_surface.py > tests/data/api_surface.txt")

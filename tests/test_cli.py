@@ -1,5 +1,7 @@
 """CLI smoke tests: every subcommand runs and prints sane output."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -25,6 +27,26 @@ class TestParser:
                   "-c", "1000"])
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert any(ch.isdigit() for ch in out)
+
+    def test_source_fallback_matches_pyproject(self):
+        # Installed or not, --version must report the distribution
+        # version from pyproject.toml, never the content-key stamp.
+        import tomllib
+
+        from repro.cli import package_version
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        expected = tomllib.loads(pyproject.read_text())["project"]["version"]
+        assert package_version() == expected
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
@@ -32,6 +54,39 @@ class TestCommands:
         assert "mcf" in out
         assert "mlp_flush" in out
         assert "runahead" in out
+        assert "smt2_mlp_stall" in out   # scenarios are enumerated too
+
+    def test_list_single_kind(self, capsys):
+        assert main(["list", "policies"]) == 0
+        out = capsys.readouterr().out
+        assert "mlp_flush" in out
+        assert "smt2_mlp_stall" not in out
+        capsys.readouterr()
+        assert main(["list", "scenario"]) == 0   # singular alias
+        assert "smt2_mlp_stall" in capsys.readouterr().out
+
+    def test_list_unknown_kind_fails_helpfully(self, capsys):
+        assert main(["list", "widgets"]) == 2
+        err = capsys.readouterr().err
+        assert "widgets" in err
+        assert "benchmarks" in err and "policies" in err \
+            and "scenarios" in err
+
+    def test_parse_policies_sees_runtime_registrations(self):
+        from repro import registry
+        from repro.cli import _parse_policies
+        from repro.policies.icount import ICountPolicy
+
+        class _CliTestPolicy(ICountPolicy):
+            name = "cli_test_policy"
+
+        try:
+            registry.register("policies", _CliTestPolicy.name,
+                              _CliTestPolicy)
+            assert _parse_policies("icount,cli_test_policy") \
+                == ("icount", "cli_test_policy")
+        finally:
+            registry.policies.unregister(_CliTestPolicy.name)
 
     def test_characterize_subset(self, capsys):
         assert main(["characterize", "-b", "mcf,twolf",
@@ -100,3 +155,57 @@ class TestJobsCommands:
         monkeypatch.setenv("REPRO_CACHE", "0")
         assert main(["jobs", "status"]) == 0
         assert "disabled" in capsys.readouterr().out
+
+
+class TestSpecCommands:
+    def test_spec_make_show_run_roundtrip(self, capsys, monkeypatch,
+                                          tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "spec.json"
+        assert main(["spec", "make", "-w", "mcf,twolf", "-p", "mlp_flush",
+                     "-c", "1500", "--warmup", "300",
+                     "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hash:" in out
+        assert path.exists()
+
+        assert main(["spec", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.runspec/1" in out
+        assert "mcf-twolf:mlp_flush@1500" in out
+
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "STP=" in out
+        assert "[jobs]" in out
+
+        # Same spec again: everything resolves from the warm store.
+        assert main(["run", str(path)]) == 0
+        assert "1 cache hits, 0 simulated" in capsys.readouterr().out
+
+    def test_spec_make_prints_json_without_output(self, capsys):
+        assert main(["spec", "make", "-w", "mcf,twolf",
+                     "-c", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert '"schema": "repro.runspec/1"' in out
+
+    def test_spec_make_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            main(["spec", "make", "-w", "mcf,twolf", "-p", "nope",
+                  "-c", "1500"])
+
+    def test_run_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["run", str(tmp_path / "nope.json")])
+
+    def test_run_rejects_invalid_spec(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro.runspec/1"}')
+        with pytest.raises(SystemExit, match="missing"):
+            main(["run", str(bad)])
+
+    def test_show_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro.runspec/999"}')
+        with pytest.raises(SystemExit, match="schema"):
+            main(["spec", "show", str(bad)])

@@ -1,0 +1,107 @@
+"""Tests for the unified name registry (repro.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import registry
+from repro.perf.scenarios import CANONICAL_SCENARIOS, Scenario
+from repro.policies import POLICIES, make_policy
+from repro.workloads.registry import BENCHMARKS
+
+
+class TestSeeding:
+    def test_policies_seeded_from_legacy_table(self):
+        assert set(registry.policies.names()) == set(POLICIES)
+        assert registry.policies.get("mlp_flush") is POLICIES["mlp_flush"]
+
+    def test_benchmarks_seeded_from_legacy_table(self):
+        assert set(registry.benchmarks.names()) == set(BENCHMARKS)
+        assert registry.benchmarks.get("mcf") is BENCHMARKS["mcf"]
+
+    def test_scenarios_seeded_from_canonical_tuple(self):
+        assert set(registry.scenarios.names()) \
+            == {sc.name for sc in CANONICAL_SCENARIOS}
+
+    def test_contains_and_len(self):
+        assert "icount" in registry.policies
+        assert "nope" not in registry.policies
+        assert len(registry.benchmarks) == len(BENCHMARKS)
+        assert list(registry.policies) == sorted(POLICIES)
+
+
+class TestUniformAccess:
+    def test_module_level_helpers(self):
+        assert registry.get("policies", "flush") is POLICIES["flush"]
+        assert registry.get("policy", "flush") is POLICIES["flush"]
+        assert "mcf" in registry.names("benchmarks")
+        assert "smt2_mlp_stall" in registry.names("scenarios")
+
+    def test_unknown_kind(self):
+        with pytest.raises(registry.RegistryError, match="unknown registry"):
+            registry.registry_for("widgets")
+
+    def test_canonical_kind(self):
+        assert registry.canonical_kind("policy") == "policies"
+        assert registry.canonical_kind("policies") == "policies"
+        assert registry.canonical_kind("benchmark") == "benchmarks"
+        assert registry.canonical_kind("scenario") == "scenarios"
+        with pytest.raises(registry.RegistryError):
+            registry.canonical_kind("widgets")
+
+    def test_unknown_name_error_names_kind_and_known(self):
+        with pytest.raises(registry.RegistryError) as exc:
+            registry.policies.get("zippy")
+        msg = str(exc.value)
+        assert "policy" in msg and "zippy" in msg and "icount" in msg
+
+    def test_registry_error_is_a_keyerror(self):
+        # Legacy callers catch KeyError; the unified error must still be one.
+        with pytest.raises(KeyError):
+            registry.benchmarks.get("zippy")
+
+
+class TestRuntimeRegistration:
+    def test_register_and_resolve_scenario(self):
+        sc = Scenario("test_registered_sc", ("mcf", "swim"), "icount",
+                      commits=1000, warmup=100, quick_commits=500)
+        try:
+            registry.scenarios.register(sc.name, sc)
+            from repro.perf.scenarios import scenario_by_name
+            assert scenario_by_name(sc.name) is sc
+        finally:
+            registry.scenarios.unregister(sc.name)
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(registry.RegistryError, match="already"):
+            registry.policies.register("icount", object())
+
+    def test_overwrite_requires_opt_in(self):
+        original = registry.policies.get("icount")
+        registry.policies.register("icount", original, overwrite=True)
+        assert registry.policies.get("icount") is original
+
+    def test_unregister_returns_entry_and_forgets_it(self):
+        sc = Scenario("test_unregister_sc", ("mcf", "swim"), "icount",
+                      commits=1000, warmup=100, quick_commits=500)
+        registry.scenarios.register(sc.name, sc)
+        assert registry.scenarios.unregister(sc.name) is sc
+        assert sc.name not in registry.scenarios
+        with pytest.raises(registry.RegistryError, match="unregister"):
+            registry.scenarios.unregister(sc.name)
+
+    def test_registered_policy_reaches_make_policy(self):
+        from repro.policies.icount import ICountPolicy
+
+        class _TestPolicy(ICountPolicy):
+            name = "test_registered_policy"
+
+        try:
+            registry.register("policies", _TestPolicy.name, _TestPolicy)
+            assert isinstance(make_policy(_TestPolicy.name), _TestPolicy)
+        finally:
+            registry.policies.unregister(_TestPolicy.name)
+
+    def test_make_policy_unknown_still_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            make_policy("definitely_not_a_policy")
