@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Render a ``repro perf compare --json`` document as a Markdown table.
+
+CI appends the output to ``$GITHUB_STEP_SUMMARY`` so regression triage
+starts from the run page — the calibration-normalized per-scenario
+throughput is right there instead of inside a downloaded artifact.
+
+Usage: perf_step_summary.py perf-smoke.json [>> "$GITHUB_STEP_SUMMARY"]
+
+The input is the schema-stamped baseline document with the ``compare``
+section ``cmd_perf_compare`` attaches (mode, per-scenario speedups, and
+``normalized_kcycles_per_calib_s`` — simulated kilocycles per
+calibration-spin-second, a machine-speed-free throughput number).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+import sys
+
+
+def render(doc: dict) -> str:
+    compare = doc.get("compare")
+    if not isinstance(compare, dict):
+        return ("## perf-smoke\n\n"
+                "No `compare` section in the perf document "
+                "(gate did not run to completion).\n")
+    mode = compare.get("mode", "?")
+    scenarios = compare.get("scenarios", {})
+    normalized = compare.get("normalized_kcycles_per_calib_s", {})
+    lines = [
+        f"## perf-smoke ({mode} mode)",
+        "",
+        f"**{'OK' if compare.get('ok') else 'REGRESSED'}** — geomean "
+        f"speedup vs committed baseline: "
+        f"**{compare.get('geomean_speedup', '?')}x** "
+        f"(machine calibration ratio "
+        f"{compare.get('calibration_ratio', '?')}, gate: "
+        f">{int(float(compare.get('max_regression', 0)) * 100)}% "
+        f"normalized slowdown fails)",
+        "",
+        "| scenario | baseline | current | speedup | norm. kcyc/calib-s "
+        "| status |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
+    for name in sorted(scenarios):
+        entry = scenarios[name]
+        status = "REGRESSED" if entry.get("regressed") else "ok"
+        if entry.get("work_drift"):
+            status += " (work drift!)"
+        lines.append(
+            f"| {name} | {entry.get('baseline_wall_s', 0):.3f}s "
+            f"| {entry.get('current_wall_s', 0):.3f}s "
+            f"| {entry.get('speedup', 0):.2f}x "
+            f"| {normalized.get(name, '—')} "
+            f"| {status} |")
+    missing = compare.get("missing") or []
+    if missing:
+        lines += ["", f"Not in baseline yet: {', '.join(missing)}"]
+    lines += ["",
+              "Normalized throughput is simulated kilocycles per "
+              "calibration-spin-second (machine-speed-free); the raw "
+              "document is attached as the `perf-smoke-*` artifact.",
+              ""]
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: perf_step_summary.py <perf-compare.json>",
+              file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(Path(argv[0]).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        # Never fail the workflow over a summary: render the problem.
+        print(f"## perf-smoke\n\nCould not render summary: {exc}\n")
+        return 0
+    print(render(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -9,24 +9,25 @@ from __future__ import annotations
 
 
 class BTB:
-    __slots__ = ("_sets", "_num_sets", "_assoc", "_stamp", "hits", "misses")
+    __slots__ = ("_sets", "_num_sets", "_assoc", "hits", "misses")
 
     def __init__(self, entries: int = 256, assoc: int = 4):
         if entries % assoc:
             raise ValueError("entries must divide evenly into ways")
         self._num_sets = entries // assoc
         self._assoc = assoc
+        # Insertion-ordered by recency: the first key is the LRU way, so
+        # eviction is O(1) (identical victim choice to the stamp scan).
         self._sets: list[dict[int, int]] = [dict() for _ in range(self._num_sets)]
-        self._stamp = 0
         self.hits = 0
         self.misses = 0
 
     def lookup(self, pc: int) -> bool:
         """True when the branch has a BTB entry (target known at fetch)."""
         s = self._sets[pc % self._num_sets]
-        self._stamp += 1
         if pc in s:
-            s[pc] = self._stamp
+            del s[pc]          # move to the most-recent end
+            s[pc] = 0
             self.hits += 1
             return True
         self.misses += 1
@@ -34,7 +35,8 @@ class BTB:
 
     def insert(self, pc: int) -> None:
         s = self._sets[pc % self._num_sets]
-        self._stamp += 1
-        if pc not in s and len(s) >= self._assoc:
-            del s[min(s, key=s.get)]
-        s[pc] = self._stamp
+        if pc in s:
+            del s[pc]
+        elif len(s) >= self._assoc:
+            del s[next(iter(s))]
+        s[pc] = 0

@@ -19,7 +19,9 @@ Subcommands:
   inspects the persistent result store, ``jobs cache-clear`` empties it
 * ``perf``          — simulator-throughput benchmarks: ``perf run`` times
   the canonical scenarios, ``perf compare`` gates against the committed
-  ``BENCH_perf.json`` baseline, ``perf update`` refreshes it
+  ``BENCH_perf.json`` baseline, ``perf update`` refreshes it, and
+  ``perf profile <scenario>`` wraps the cProfile recipe (prime run,
+  top-N frames) the profile tables in ``perf/PROFILE.md`` are built from
 
 Every command accepts ``--commits`` to trade accuracy for runtime; the
 defaults match the benchmark harness (see ``repro.experiments.defaults``).
@@ -435,6 +437,22 @@ def cmd_perf_compare(args) -> int:
     return 0
 
 
+def cmd_perf_profile(args) -> int:
+    from repro import perf
+
+    try:
+        report = perf.profile_scenario(args.scenario, top=args.top,
+                                       sort=args.sort, quick=args.quick)
+    except KeyError:
+        raise SystemExit(
+            f"perf profile: unknown scenario {args.scenario!r}; "
+            f"see `python -m repro list scenarios`")
+    except ValueError as exc:
+        raise SystemExit(f"perf profile: {exc}")
+    print(perf.format_report(report), end="")
+    return 0
+
+
 def cmd_perf_update(args) -> int:
     perf, suite, _json = _perf_suite(args)
     path = perf.write_baseline(suite, args.baseline)
@@ -570,6 +588,19 @@ def build_parser() -> argparse.ArgumentParser:
     _perf_common(q)
     q.add_argument("--baseline", help="write here instead of the repo root")
     q.set_defaults(fn=cmd_perf_update)
+    q = psub.add_parser(
+        "profile",
+        help="cProfile one scenario (prime run, then top-N frames)")
+    q.add_argument("scenario",
+                   help="scenario name; see `repro list scenarios`")
+    q.add_argument("--top", type=int, default=15,
+                   help="number of frames to print (default 15)")
+    q.add_argument("--sort", default="tottime",
+                   choices=("tottime", "cumtime"),
+                   help="pstats sort key (default tottime)")
+    q.add_argument("--quick", action="store_true",
+                   help="reduced budgets (CI smoke mode)")
+    q.set_defaults(fn=cmd_perf_profile)
     return parser
 
 

@@ -10,6 +10,7 @@ records the cycle stamp of every commit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.config import SMTConfig, single_thread_variant
 from repro.experiments.defaults import default_warmup
@@ -51,9 +52,21 @@ def trace_for(name: str, cfg: SMTConfig, slot: int = 0,
     The generated instruction stream is identical for every slot (only the
     address-space and PC bases differ), so single-threaded baselines and
     multithreaded runs execute the same program.
+
+    Traces are pure functions of ``(spec, memory config, seed, bases)``
+    and are never mutated by simulation, so identical requests share one
+    memoized instance: repeat timing runs, golden regeneration and the
+    jobs workers stop re-deriving the same body/prototype tables for
+    every core they build.
     """
+    return _cached_trace(name, cfg.memory, slot, seed)
+
+
+@lru_cache(maxsize=64)
+def _cached_trace(name: str, mem_cfg, slot: int,
+                  seed: int) -> SyntheticTrace:
     return SyntheticTrace(
-        benchmark(name), cfg.memory, seed=stable_seed(name, seed),
+        benchmark(name), mem_cfg, seed=stable_seed(name, seed),
         base=(slot + 1) << _THREAD_BASE_SHIFT,
         pc_base=(slot + 1) << _PC_BASE_SHIFT)
 

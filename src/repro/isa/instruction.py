@@ -89,7 +89,7 @@ class Instr:
 
     __slots__ = ("pc", "op", "dest", "srcs", "addr", "taken",
                  "is_load", "is_store", "is_branch", "has_dest", "dest_fp",
-                 "op_i", "fp_queue")
+                 "op_i", "fp_queue", "latency")
 
     def __init__(self, pc: int, op: Op, dest: int | None = None,
                  srcs: tuple[int, ...] = (), addr: int | None = None,
@@ -107,6 +107,7 @@ class Instr:
         self.dest_fp = dest is not None and dest >= FP_REG_BASE
         self.op_i = int(op)      # plain-int index into the per-op tables
         self.fp_queue = op is Op.FALU or op is Op.FMUL
+        self.latency = EXEC_LATENCY[op]  # execute latency, precomputed
 
     @property
     def is_mem(self) -> bool:

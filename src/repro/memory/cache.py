@@ -15,7 +15,7 @@ class Cache:
     """One cache level.  Addresses are byte addresses."""
 
     __slots__ = ("cfg", "name", "_sets", "_num_sets", "_line_shift",
-                 "_stamp", "hits", "misses")
+                 "hits", "misses")
 
     def __init__(self, cfg: CacheConfig, name: str = "cache"):
         self.cfg = cfg
@@ -24,9 +24,12 @@ class Cache:
         self._line_shift = cfg.line_size.bit_length() - 1
         if (1 << self._line_shift) != cfg.line_size:
             raise ValueError("line size must be a power of two")
-        # One dict per set: {line_number: lru_stamp}.
+        # One dict per set, insertion-ordered by recency: the first key
+        # is always the LRU line, so a hit refresh is delete+reinsert and
+        # eviction is O(1) (the stamp-based form scanned the set with
+        # ``min(s, key=s.get)`` per eviction).  Victim choice is
+        # identical: least-recent == first in recency order.
         self._sets: list[dict[int, int]] = [dict() for _ in range(self._num_sets)]
-        self._stamp = 0
         self.hits = 0
         self.misses = 0
 
@@ -37,9 +40,9 @@ class Cache:
         """Access the cache; returns True on hit.  Updates LRU, no fill."""
         line = addr >> self._line_shift
         s = self._sets[line % self._num_sets]
-        self._stamp += 1
         if line in s:
-            s[line] = self._stamp
+            del s[line]       # move to the most-recent end
+            s[line] = 0
             self.hits += 1
             return True
         self.misses += 1
@@ -59,22 +62,22 @@ class Cache:
         line = addr >> self._line_shift
         s = self._sets[line % self._num_sets]
         if line in s:
-            self._stamp += 1
-            s[line] = self._stamp
+            del s[line]
+            s[line] = 0
 
     def install(self, addr: int) -> int | None:
         """Insert the line containing ``addr``; returns the evicted line or None."""
         line = addr >> self._line_shift
         s = self._sets[line % self._num_sets]
-        self._stamp += 1
         if line in s:
-            s[line] = self._stamp
+            del s[line]
+            s[line] = 0
             return None
         victim = None
         if len(s) >= self.cfg.assoc:
-            victim = min(s, key=s.get)
+            victim = next(iter(s))
             del s[victim]
-        s[line] = self._stamp
+        s[line] = 0
         return victim
 
     def invalidate(self, addr: int) -> bool:

@@ -6,7 +6,7 @@ from repro.config import TLBConfig
 
 
 class TLB:
-    __slots__ = ("cfg", "_entries", "_stamp", "_page_shift", "hits", "misses")
+    __slots__ = ("cfg", "_entries", "_page_shift", "hits", "misses")
 
     def __init__(self, cfg: TLBConfig):
         self.cfg = cfg
@@ -14,8 +14,8 @@ class TLB:
         if (1 << shift) != cfg.page_size:
             raise ValueError("page size must be a power of two")
         self._page_shift = shift
+        # Insertion-ordered by recency (see Cache): first key == LRU.
         self._entries: dict[int, int] = {}
-        self._stamp = 0
         self.hits = 0
         self.misses = 0
 
@@ -25,16 +25,16 @@ class TLB:
     def lookup(self, addr: int) -> bool:
         """Translate ``addr``; returns True on hit.  Misses fill the entry."""
         page = addr >> self._page_shift
-        self._stamp += 1
         entries = self._entries
         if page in entries:
-            entries[page] = self._stamp
+            del entries[page]     # move to the most-recent end
+            entries[page] = 0
             self.hits += 1
             return True
         self.misses += 1
         if len(entries) >= self.cfg.entries:
-            del entries[min(entries, key=entries.get)]
-        entries[page] = self._stamp
+            del entries[next(iter(entries))]
+        entries[page] = 0
         return False
 
     def reset_stats(self) -> None:

@@ -27,6 +27,12 @@ from repro.perf.harness import (
     run_suite,
     time_scenario,
 )
+from repro.perf.profiling import (
+    PROFILE_SORTS,
+    ProfileReport,
+    format_report,
+    profile_scenario,
+)
 from repro.perf.scenarios import (
     CANONICAL_2T,
     CANONICAL_SCENARIOS,
@@ -44,13 +50,17 @@ __all__ = [
     "BaselineError",
     "BenchResult",
     "CompareReport",
+    "PROFILE_SORTS",
+    "ProfileReport",
     "Scenario",
     "ScenarioDelta",
     "SuiteResult",
     "baseline_path",
     "calibrate",
     "compare",
+    "format_report",
     "load_baseline",
+    "profile_scenario",
     "run_scenario",
     "run_suite",
     "scenario_by_name",

@@ -3,7 +3,7 @@
 Hot-loop optimizations in :mod:`repro.pipeline.core` are only admissible
 if they are *cycle-exact* — same committed-cycle counts, same IPC, same
 flush and stall counters, for every policy class.  This module defines a
-fixed-seed scenario matrix ({1,2,4} threads x every paper policy:
+fixed-seed scenario matrix ({1,2,4,8} threads x every paper policy:
 {icount, stall, pred_stall, flush, mlp_stall, mlp_flush, dcra,
 mlp_dcra}) and serializes each cell's :class:`repro.pipeline.stats.
 CoreStats` to a stable dict.  ``tests/test_golden_stats.py`` compares a
@@ -50,6 +50,12 @@ _WORKLOADS = {
     1: ("mcf",),
     2: ("mcf", "swim"),
     4: ("mgrid", "vortex", "swim", "twolf"),
+    # The 8-thread stress mix (same as ``smt8_mlp_flush_stress``): twice
+    # the paper's largest configuration, admissible because the shared
+    # ROB (256) still divides evenly.  These cells pin the thread-count
+    # regime the data-layout pass was built for.
+    8: ("mcf", "swim", "mgrid", "vortex", "twolf", "equake", "art",
+        "lucas"),
 }
 
 

@@ -30,25 +30,37 @@ the original was per-cycle*: fetch eligibility lives in an incrementally
 maintained candidate list updated only on stall/unstall transitions
 (``ThreadState._sync_policy_stall``), branch- and policy-stall cycles are
 accounted as wait intervals, dispatch latches rejected heads against a
-resource-release epoch and head-ready times, the commit stage runs behind
-a completion-driven gate, whole-stage wake latches skip provably idle
-fetch/dispatch cycles, and retired ``DynInstr`` records are pool-recycled
-under explicit reference accounting.  Several bodies are deliberately
-duplicated for speed (``step``/the fused loop, ``_commit``/``_commit_one``,
-``_dispatch``/``_try_dispatch``, ``_complete``/its inlined copies) — keep
-them in sync; the golden-stats matrix (``tests/test_golden_stats.py``,
-{1,2,4} threads x all eight paper policies plus runahead) pins every copy
-to the pre-optimization core cycle-for-cycle.
+resource-release epoch and head-ready times (and replays a proven
+all-blocked stall verdict without re-scanning while that epoch holds),
+the commit stage runs behind an exact head-completion gate, whole-stage
+wake latches skip provably idle fetch/dispatch cycles, and retired
+``DynInstr`` records are pool-recycled under explicit reference
+accounting.  The data layout is scan-free where the original was
+scan-heavy: completions/detections/write-buffer drains ride cycle-bucketed
+calendar queues (see the event wheels in ``__init__``) instead of tuple
+heaps, each thread's rename map is a flat array indexed by the dense
+architectural register number, and the dispatch/commit rotations are
+filtered through activity bitmasks (``_fe_mask``/``_heads_mask``) with a
+lazily built per-(mask, start) rotation cache.  Several bodies are
+deliberately duplicated for speed (``step``/the fused loop,
+``_commit``/``_commit_one``, ``_dispatch``/``_try_dispatch``,
+``_complete``/its inlined copies, the base fetch_order/fetch_pending and
+non-memory ``_execute`` bodies inlined into the fused loop and
+``_issue``) — keep them in sync; the golden-stats matrix
+(``tests/test_golden_stats.py``, {1,2,4,8} threads x all eight paper
+policies plus runahead) pins every copy to the pre-optimization core
+cycle-for-cycle.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from operator import attrgetter
 from typing import TYPE_CHECKING
 
 from repro.branch import BTB, GShare
 from repro.config import SMTConfig
-from repro.isa import EXEC_LATENCY_BY_OP, FU_CLASS_BY_OP, FuClass, Op
+from repro.isa import FU_CLASS_BY_OP, FuClass
 from repro.memory.hierarchy import MemoryHierarchy, ServiceLevel
 from repro.pipeline.dyninstr import DynInstr
 from repro.pipeline.stats import CoreStats
@@ -62,6 +74,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Upper bound on pooled DynInstr records; enough to absorb the live
 #: population of the largest configured window plus fetch queues.
 _DI_POOL_CAP = 4096
+
+#: Age order for draining a multi-entry wheel bucket (see the calendar
+#: queues in :meth:`SMTCore.__init__`): sorting by ``gseq`` reproduces
+#: the old heaps' (cycle, age) pop order exactly.
+_BY_GSEQ = attrgetter("gseq")
+
+#: ICOUNT priority for the fetch-order fast path inlined into the fused
+#: run loop (keep in sync with :mod:`repro.policies.base`).
+_BY_ICOUNT = attrgetter("icount")
 
 
 class SimulationDeadlock(RuntimeError):
@@ -82,9 +103,12 @@ class SMTCore:
     # by monkeypatching instance methods) working.
     __slots__ = (
         "cfg", "hierarchy", "threads", "policy", "gshare", "btb", "cycle",
-        "_gseq", "_events", "_detects", "_ready", "_ready_by_op",
+        "_gseq", "_ready", "_ready_by_op",
         "_ready_int", "_ready_ldst", "_ready_fp",
-        "_num_int_alu", "_num_ldst", "_num_fp", "_wb",
+        "_num_int_alu", "_num_ldst", "_num_fp",
+        "_wheel_mask", "_ev_buckets", "_ev_marks", "_ev_over",
+        "_dt_buckets", "_dt_marks", "_dt_over",
+        "_wb_buckets", "_wb_marks", "_wb_over", "_wb_used",
         "rob_used", "lsq_used", "iq_used", "fq_used",
         "int_regs_used", "fp_regs_used",
         "_fe_capacity", "stats", "_line_shift", "_measure_start",
@@ -93,13 +117,16 @@ class SMTCore:
         "_commit_width", "_decode_width", "_fetch_width",
         "_fetch_max_threads", "_frontend_depth", "_wb_entries",
         "_fast_forward", "_rotations", "_fetch_candidates",
+        "_fe_mask", "_heads_mask", "_rot_cache", "_full_mask",
+        "_policy_on_resource_stall",
         "_release_epoch", "_committed_watermark", "_commit_pending",
         "_di_pool", "_policy_fetch_order", "_policy_fetch_pending",
         "_policy_can_dispatch", "_policy_on_fetch", "_policy_on_fetch_load",
         "_policy_on_load_complete", "_commit_stage", "_dispatch_stage",
-        "_issue_stage", "_complete_is_base",
+        "_issue_stage", "_complete_is_base", "_execute_is_base",
         "_hier_load", "_hier_ifetch", "_hier_store", "_n_threads",
         "_fetch_wake", "_fetch_order_is_base", "_dispatch_wake",
+        "_stall_latch_until", "_stall_latch_epoch",
         "__dict__",
     )
 
@@ -123,8 +150,40 @@ class SMTCore:
         self.btb = BTB(cfg.btb_entries, cfg.btb_assoc)
         self.cycle = 0
         self._gseq = 0
-        self._events: list[tuple[int, int, DynInstr]] = []   # completions
-        self._detects: list[tuple[int, int, DynInstr]] = []  # LL detections
+        # Calendar ("event wheel") queues for completions, long-latency
+        # detections and write-buffer drains, replacing three heaps: a
+        # ring of per-cycle buckets indexed by ``when & _wheel_mask``
+        # absorbs every in-horizon event hop with a plain list append
+        # instead of a ``(cycle, seq, di)`` tuple heappush; an int heap
+        # of *armed bucket cycles* (``*_marks``, one entry per distinct
+        # pending cycle) keeps the O(1) earliest-event peek the
+        # fast-forward probe needs; and a spill heap (``*_over``) takes
+        # the rare past-horizon schedule (``serialize_long_latency`` can
+        # defer completions arbitrarily far).  A bucket is drained
+        # exactly at its own cycle — fast-forward jumps are bounded by
+        # the armed marks, so an armed cycle is never skipped — and is
+        # sorted by ``gseq`` only when it holds several records, keeping
+        # the heap's (cycle, age) pop order exact.  The write-buffer
+        # wheel stores plain per-cycle drain *counts* with the occupancy
+        # tracked in ``_wb_used``.
+        mem_cfg = cfg.memory
+        horizon = 2 * (mem_cfg.mem_latency + mem_cfg.tlb_miss_penalty) + 512
+        wheel = max(1024, min(1 << horizon.bit_length(), 1 << 16))
+        self._wheel_mask = wheel - 1
+        # Bucket lists materialize lazily (None until a slot's first use):
+        # a fresh core allocates two flat None-arrays instead of thousands
+        # of empty lists, and the steady state reuses the same few hot
+        # buckets.  ``None`` and ``[]`` are both "empty" at the drains.
+        self._ev_buckets: list[list[DynInstr] | None] = [None] * wheel
+        self._ev_marks: list[int] = []
+        self._ev_over: list[tuple[int, int, DynInstr]] = []
+        self._dt_buckets: list[list[DynInstr] | None] = [None] * wheel
+        self._dt_marks: list[int] = []
+        self._dt_over: list[tuple[int, int, DynInstr]] = []
+        self._wb_buckets: list[int] = [0] * wheel
+        self._wb_marks: list[int] = []
+        self._wb_over: list[int] = []
+        self._wb_used = 0
         self._ready: dict[FuClass, list[tuple[int, DynInstr]]] = {
             FuClass.INT_ALU: [], FuClass.LDST: [], FuClass.FP: []}
         #: The same ready queues, addressable by ``int(op)`` with a single
@@ -140,7 +199,6 @@ class SMTCore:
         self._num_int_alu = cfg.num_int_alu
         self._num_ldst = cfg.num_ldst
         self._num_fp = cfg.num_fp
-        self._wb: list[int] = []                             # drain cycles
         self.rob_used = 0
         self.lsq_used = 0
         self.iq_used = 0
@@ -177,6 +235,22 @@ class SMTCore:
         self._rotations = tuple(
             tuple(self.threads[(s + i) % n] for i in range(n))
             for s in range(n))
+        # Activity bitmasks over the thread set: ``_fe_mask`` holds the
+        # threads with a non-empty front-end queue (maintained at fetch
+        # appends, dispatch pops and flushes), ``_heads_mask`` the
+        # threads whose ROB head is completed (the ``head_ready``
+        # transitions).  ``_rot_cache[mask * n + start]`` lazily
+        # materializes the rotation order starting at ``start`` filtered
+        # to the mask's threads, so the per-cycle dispatch/commit scans
+        # iterate only the threads that can possibly act — at 8 threads
+        # the full-rotation scans were >60% provably idle hops.  The
+        # cache covers n <= 8 (the table is n * 2^n entries); larger
+        # machines fall back to the plain full rotations.
+        self._fe_mask = 0
+        self._heads_mask = 0
+        self._full_mask = (1 << n) - 1
+        self._rot_cache: list | None = (
+            [None] * (n << n) if n <= 8 else None)
         # Event-maintained fetch-eligibility structure: the policy-unstalled
         # threads in tid order, re-derived only on stall/unstall transitions
         # (ThreadState._sync_policy_stall) instead of per cycle.  An empty
@@ -228,6 +302,9 @@ class SMTCore:
         self._policy_on_load_complete = (
             None if getattr(cls.on_load_complete, "_is_default_hook", False)
             else policy.on_load_complete)
+        self._policy_on_resource_stall = (
+            None if getattr(cls.on_resource_stall, "_is_default_hook", False)
+            else policy.on_resource_stall)
         # Stage methods bound once (subclass overrides resolve here); saves
         # a method lookup per stage per cycle in step().
         self._commit_stage = self._commit
@@ -236,6 +313,10 @@ class SMTCore:
         # step() inlines the completion-event loop only when _complete is
         # not overridden (RunaheadCore adds exit-runahead handling there).
         self._complete_is_base = type(self)._complete is SMTCore._complete
+        # _issue inlines _execute's non-memory fast path only while the
+        # class implementation is the base one (instance monkeypatches
+        # are re-checked per stage call against ``__dict__``).
+        self._execute_is_base = type(self)._execute is SMTCore._execute
         # Fetch-wake latch: earliest cycle fetch_order could be non-empty
         # again after returning empty (0 = probe every cycle).  Armed only
         # for the marked base eligibility rules; disarmed (reset to 0) by
@@ -251,6 +332,16 @@ class SMTCore:
         # earliest observed head-ready time, a fetch into an empty queue,
         # or a flush.
         self._dispatch_wake = 0
+        # Stall-verdict latch: armed when a full dispatch pass concluded
+        # "every ready head is blocked by a full shared resource" under a
+        # policy whose ``on_resource_stall`` hook is the marked no-op and
+        # with no dispatch cap.  While the release epoch is unchanged and
+        # no absent head can have arrived by time (``_stall_latch_until``
+        # bounds that; fetch into an empty queue and flushes disarm), the
+        # verdict — one resource-stall cycle — is replayed without
+        # re-running the scan.
+        self._stall_latch_until = 0
+        self._stall_latch_epoch = -1
 
     # ------------------------------------------------------------------ #
     # top-level driving
@@ -328,9 +419,16 @@ class SMTCore:
         # (step() and _complete() remain the canonical, overridable
         # forms); the golden-stats matrix pins all of them to identical
         # architectural behavior.  Keep them in sync.
-        events = self._events
-        detects = self._detects
-        wb = self._wb
+        mask = self._wheel_mask
+        ev_buckets = self._ev_buckets
+        ev_marks = self._ev_marks
+        ev_over = self._ev_over
+        dt_buckets = self._dt_buckets
+        dt_marks = self._dt_marks
+        dt_over = self._dt_over
+        wb_buckets = self._wb_buckets
+        wb_marks = self._wb_marks
+        wb_over = self._wb_over
         ready_int = self._ready_int
         ready_ldst = self._ready_ldst
         ready_fp = self._ready_fp
@@ -349,28 +447,62 @@ class SMTCore:
         fetch_max_threads = self._fetch_max_threads
         fast_forward = self._fast_forward
         fetch_order_is_base = self._fetch_order_is_base
+        fe_capacity = self._fe_capacity
+        can_fetch_one = fetch_max_threads >= 1 and fetch_width >= 1
+        # Stable for the run: the candidate list is edited in place by
+        # the stall/unstall transitions, never replaced.
+        fetch_candidates = self._fetch_candidates
         while True:
             cycle = self.cycle
-            if events and events[0][0] <= cycle:
+            bucket = ev_buckets[cycle & mask]
+            if bucket or (ev_over and ev_over[0][0] <= cycle):
                 # completion loop — keep in sync with step()/_complete()
-                while events and events[0][0] <= cycle:
-                    _, _, di = heappop(events)
+                if bucket is None:
+                    bucket = ev_buckets[cycle & mask] = []
+                while ev_over and ev_over[0][0] <= cycle:
+                    bucket.append(heappop(ev_over)[2])
+                while ev_marks and ev_marks[0] <= cycle:
+                    heappop(ev_marks)
+                n_due = len(bucket)
+                if n_due > 1:
+                    if n_due == 2:
+                        a, b = bucket
+                        if b.gseq < a.gseq:   # age order, no key array
+                            bucket[0] = b
+                            bucket[1] = a
+                    else:
+                        bucket.sort(key=_BY_GSEQ)
+                for di in bucket:
                     ts = threads[di.thread]
                     if di.is_load and di.pending == -1:
                         ts.outstanding_misses -= 1
                     if di.squashed:
                         continue
                     di.completed = True
-                    self._commit_pending = True
-                    waiters = di.waiters
-                    if waiters:
-                        for w in waiters:
-                            w.pending -= 1
-                            if (w.pending == 0 and not w.squashed
-                                    and w.in_iq and not w.issued):
-                                heappush(ready_by_op[w.instr.op_i],
-                                         (w.gseq, w))
-                        di.waiters = None
+                    window = ts.window
+                    if window and window[0] is di:
+                        # Only a completed *head* can unblock commit: the
+                        # gate and the head mask move together.
+                        ts.head_ready = True
+                        self._heads_mask |= ts.tid_bit
+                        self._commit_pending = True
+                    w = di.waiter0
+                    if w is not None:
+                        di.waiter0 = None
+                        w.pending -= 1
+                        if (w.pending == 0 and not w.squashed
+                                and w.in_iq and not w.issued):
+                            heappush(ready_by_op[w.instr.op_i],
+                                     (w.gseq, w))
+                        waiters = di.waiters
+                        if waiters is not None:
+                            di.waiters = None
+                            for w in waiters:
+                                w.pending -= 1
+                                if (w.pending == 0 and not w.squashed
+                                        and w.in_iq and not w.issued):
+                                    heappush(ready_by_op[w.instr.op_i],
+                                             (w.gseq, w))
                     if di.is_branch and ts.waiting_branch is di:
                         ts.waiting_branch = None
                         ts.stats.branch_stall_cycles += \
@@ -380,40 +512,146 @@ class SMTCore:
                         self._fetch_wake = 0
                     if di.is_load and on_load_complete is not None:
                         on_load_complete(di, ts)
-            if detects and detects[0][0] <= cycle:
-                while detects and detects[0][0] <= cycle:
-                    _, _, di = heappop(detects)
+                bucket.clear()
+            bucket = dt_buckets[cycle & mask]
+            if bucket or (dt_over and dt_over[0][0] <= cycle):
+                if bucket is None:
+                    bucket = dt_buckets[cycle & mask] = []
+                while dt_over and dt_over[0][0] <= cycle:
+                    bucket.append(heappop(dt_over)[2])
+                while dt_marks and dt_marks[0] <= cycle:
+                    heappop(dt_marks)
+                n_due = len(bucket)
+                if n_due > 1:
+                    if n_due == 2:
+                        a, b = bucket
+                        if b.gseq < a.gseq:   # age order, no key array
+                            bucket[0] = b
+                            bucket[1] = a
+                    else:
+                        bucket.sort(key=_BY_GSEQ)
+                for di in bucket:
                     di.in_detects = False
                     if di.squashed or di.completed:
                         continue
                     on_ll_detect(di, threads[di.thread])
-            while wb and wb[0] <= cycle:
-                heappop(wb)
+                bucket.clear()
+            wcnt = wb_buckets[cycle & mask]
+            if wcnt:
+                wb_buckets[cycle & mask] = 0
+                self._wb_used -= wcnt
+                while wb_marks and wb_marks[0] <= cycle:
+                    heappop(wb_marks)
+            if wb_over and wb_over[0] <= cycle:
+                while wb_over and wb_over[0] <= cycle:
+                    heappop(wb_over)
+                    self._wb_used -= 1
             if self._commit_pending:
                 commit_stage(cycle)
             if ready_int or ready_ldst or ready_fp:
                 issue_stage(cycle)
             if cycle >= self._dispatch_wake:
-                dispatch_stage(cycle)
+                if (cycle < self._stall_latch_until
+                        and self._stall_latch_epoch == self._release_epoch):
+                    # Proven stall verdict still holds: account the cycle
+                    # without re-running the scan (hook is a no-op).
+                    self.stats.resource_stall_cycles += 1
+                else:
+                    dispatch_stage(cycle)
             if cycle >= self._fetch_wake:
-                order = policy_fetch_order(cycle)
-                if order:
-                    budget = fetch_width
-                    remaining_threads = fetch_max_threads
-                    for ts, ignore_stall in order:
-                        if remaining_threads == 0 or budget == 0:
-                            break
-                        remaining_threads -= 1
-                        budget -= fetch_thread(ts, budget, cycle,
-                                               ignore_stall)
-                elif fetch_order_is_base:
-                    self._fetch_wake = self._compute_fetch_wake(cycle)
+                if fetch_order_is_base:
+                    # Base ICOUNT eligibility, inlined from
+                    # FetchPolicy.fetch_order (keep in sync): candidates
+                    # are event-maintained, only time-varying conditions
+                    # are probed, and the single-eligible case — the
+                    # overwhelmingly common shape — drives the fetch
+                    # burst directly without materializing an order.
+                    candidates = fetch_candidates
+                    if candidates:
+                        first = None
+                        rest = None
+                        for ts in candidates:
+                            if (ts.fetch_blocked_until <= cycle
+                                    and ts.waiting_branch is None
+                                    and len(ts.fe_queue) < fe_capacity):
+                                if first is None:
+                                    first = ts
+                                elif rest is None:
+                                    rest = [first, ts]
+                                else:
+                                    rest.append(ts)
+                        if rest is None:
+                            if first is None:
+                                self._fetch_wake = \
+                                    self._compute_fetch_wake(cycle)
+                            elif can_fetch_one:
+                                fetch_thread(first, fetch_width, cycle,
+                                             False)
+                        else:
+                            if len(rest) == 2:
+                                a, b = rest
+                                # Matches the stable sort: ties keep
+                                # tid order.
+                                if b.icount < a.icount:
+                                    rest[0] = b
+                                    rest[1] = a
+                            else:
+                                rest.sort(key=_BY_ICOUNT)
+                            budget = fetch_width
+                            remaining_threads = fetch_max_threads
+                            for ts in rest:
+                                if remaining_threads == 0 or budget == 0:
+                                    break
+                                remaining_threads -= 1
+                                budget -= fetch_thread(ts, budget, cycle,
+                                                       False)
+                    else:
+                        # COT (every thread policy-stalled): cold path,
+                        # through the policy method.
+                        order = policy_fetch_order(cycle)
+                        if order:
+                            budget = fetch_width
+                            remaining_threads = fetch_max_threads
+                            for ts, ignore_stall in order:
+                                if remaining_threads == 0 or budget == 0:
+                                    break
+                                remaining_threads -= 1
+                                budget -= fetch_thread(ts, budget, cycle,
+                                                       ignore_stall)
+                        else:
+                            self._fetch_wake = \
+                                self._compute_fetch_wake(cycle)
+                else:
+                    order = policy_fetch_order(cycle)
+                    if order:
+                        budget = fetch_width
+                        remaining_threads = fetch_max_threads
+                        for ts, ignore_stall in order:
+                            if remaining_threads == 0 or budget == 0:
+                                break
+                            remaining_threads -= 1
+                            budget -= fetch_thread(ts, budget, cycle,
+                                                   ignore_stall)
             nxt = cycle + 1
-            if not fast_forward:
+            if not fast_forward or ready_int or ready_ldst or ready_fp:
                 self.cycle = nxt
-            elif (ready_int or ready_ldst or ready_fp
-                    or (nxt >= self._fetch_wake
-                        and policy_fetch_pending(nxt))):
+            elif nxt < self._fetch_wake:
+                self.cycle = nxt = next_cycle(cycle)
+            elif fetch_order_is_base:
+                # Base fetch_pending, inlined (keep in sync): would any
+                # thread be fetch-eligible next cycle?
+                pending = False
+                for ts in (fetch_candidates or threads):
+                    if (ts.fetch_blocked_until <= nxt
+                            and ts.waiting_branch is None
+                            and len(ts.fe_queue) < fe_capacity):
+                        pending = True
+                        break
+                if pending:
+                    self.cycle = nxt
+                else:
+                    self.cycle = nxt = next_cycle(cycle)
+            elif policy_fetch_pending(nxt):
                 self.cycle = nxt
             else:
                 self.cycle = nxt = next_cycle(cycle)
@@ -481,38 +719,69 @@ class SMTCore:
     def step(self) -> None:
         """Advance one cycle (or fast-forward to the next event)."""
         cycle = self.cycle
-        events = self._events
-        detects = self._detects
-        if (events and events[0][0] <= cycle) or (
-                detects and detects[0][0] <= cycle):
+        mask = self._wheel_mask
+        ev_bucket = self._ev_buckets[cycle & mask]
+        ev_over = self._ev_over
+        dt_bucket = self._dt_buckets[cycle & mask]
+        dt_over = self._dt_over
+        if (ev_bucket or dt_bucket
+                or (ev_over and ev_over[0][0] <= cycle)
+                or (dt_over and dt_over[0][0] <= cycle)):
             if not self._complete_is_base:
                 self._process_events(cycle)
             else:
                 # _process_events/_complete, inlined (the completion loop
                 # runs nearly every active cycle and the two calls per
                 # event were measurable).  Keep in sync with _complete.
-                if events and events[0][0] <= cycle:
+                if ev_bucket or (ev_over and ev_over[0][0] <= cycle):
                     threads = self.threads
                     on_load_complete = self._policy_on_load_complete
-                    while events and events[0][0] <= cycle:
-                        _, _, di = heappop(events)
+                    ev_marks = self._ev_marks
+                    if ev_bucket is None:
+                        ev_bucket = self._ev_buckets[cycle & mask] = []
+                    while ev_over and ev_over[0][0] <= cycle:
+                        ev_bucket.append(heappop(ev_over)[2])
+                    while ev_marks and ev_marks[0] <= cycle:
+                        heappop(ev_marks)
+                    n_due = len(ev_bucket)
+                    if n_due > 1:
+                        if n_due == 2:
+                            a, b = ev_bucket
+                            if b.gseq < a.gseq:   # age order, no key array
+                                ev_bucket[0] = b
+                                ev_bucket[1] = a
+                        else:
+                            ev_bucket.sort(key=_BY_GSEQ)
+                    for di in ev_bucket:
                         ts = threads[di.thread]
                         if di.is_load and di.pending == -1:
                             ts.outstanding_misses -= 1
                         if di.squashed:
                             continue
                         di.completed = True
-                        self._commit_pending = True
-                        waiters = di.waiters
-                        if waiters:
+                        window = ts.window
+                        if window and window[0] is di:
+                            ts.head_ready = True
+                            self._heads_mask |= ts.tid_bit
+                            self._commit_pending = True
+                        w = di.waiter0
+                        if w is not None:
+                            di.waiter0 = None
                             ready_by_op = self._ready_by_op
-                            for w in waiters:
-                                w.pending -= 1
-                                if (w.pending == 0 and not w.squashed
-                                        and w.in_iq and not w.issued):
-                                    heappush(ready_by_op[w.instr.op_i],
-                                             (w.gseq, w))
-                            di.waiters = None
+                            w.pending -= 1
+                            if (w.pending == 0 and not w.squashed
+                                    and w.in_iq and not w.issued):
+                                heappush(ready_by_op[w.instr.op_i],
+                                         (w.gseq, w))
+                            waiters = di.waiters
+                            if waiters is not None:
+                                di.waiters = None
+                                for w in waiters:
+                                    w.pending -= 1
+                                    if (w.pending == 0 and not w.squashed
+                                            and w.in_iq and not w.issued):
+                                        heappush(ready_by_op[w.instr.op_i],
+                                                 (w.gseq, w))
                         if di.is_branch and ts.waiting_branch is di:
                             ts.waiting_branch = None
                             ts.stats.branch_stall_cycles += \
@@ -522,24 +791,56 @@ class SMTCore:
                             self._fetch_wake = 0
                         if di.is_load and on_load_complete is not None:
                             on_load_complete(di, ts)
-                if detects and detects[0][0] <= cycle:
+                    ev_bucket.clear()
+                if dt_bucket or (dt_over and dt_over[0][0] <= cycle):
                     on_ll_detect = self.policy.on_ll_detect
                     threads = self.threads
-                    while detects and detects[0][0] <= cycle:
-                        _, _, di = heappop(detects)
+                    dt_marks = self._dt_marks
+                    if dt_bucket is None:
+                        dt_bucket = self._dt_buckets[cycle & mask] = []
+                    while dt_over and dt_over[0][0] <= cycle:
+                        dt_bucket.append(heappop(dt_over)[2])
+                    while dt_marks and dt_marks[0] <= cycle:
+                        heappop(dt_marks)
+                    n_due = len(dt_bucket)
+                    if n_due > 1:
+                        if n_due == 2:
+                            a, b = dt_bucket
+                            if b.gseq < a.gseq:   # age order, no key array
+                                dt_bucket[0] = b
+                                dt_bucket[1] = a
+                        else:
+                            dt_bucket.sort(key=_BY_GSEQ)
+                    for di in dt_bucket:
                         di.in_detects = False
                         if di.squashed or di.completed:
                             continue
                         on_ll_detect(di, threads[di.thread])
-        wb = self._wb   # drain the write buffer
-        while wb and wb[0] <= cycle:
-            heappop(wb)
+                    dt_bucket.clear()
+        # drain the write buffer
+        wcnt = self._wb_buckets[cycle & mask]
+        if wcnt:
+            self._wb_buckets[cycle & mask] = 0
+            self._wb_used -= wcnt
+            wb_marks = self._wb_marks
+            while wb_marks and wb_marks[0] <= cycle:
+                heappop(wb_marks)
+        wb_over = self._wb_over
+        if wb_over and wb_over[0] <= cycle:
+            while wb_over and wb_over[0] <= cycle:
+                heappop(wb_over)
+                self._wb_used -= 1
         if self._commit_pending:
             self._commit_stage(cycle)
         if self._ready_int or self._ready_ldst or self._ready_fp:
             self._issue_stage(cycle)
         if cycle >= self._dispatch_wake:
-            self._dispatch_stage(cycle)
+            if (cycle < self._stall_latch_until
+                    and self._stall_latch_epoch == self._release_epoch):
+                # Proven stall verdict still holds (see _dispatch).
+                self.stats.resource_stall_cycles += 1
+            else:
+                self._dispatch_stage(cycle)
         # fetch (inlined driver; _fetch_thread does the per-thread work)
         if cycle >= self._fetch_wake:
             order = self._policy_fetch_order(cycle)
@@ -577,22 +878,57 @@ class SMTCore:
     # ------------------------------------------------------------------ #
 
     def _process_events(self, cycle: int) -> None:
-        events = self._events
-        if events and events[0][0] <= cycle:
+        mask = self._wheel_mask
+        bucket = self._ev_buckets[cycle & mask]
+        ev_over = self._ev_over
+        if bucket or (ev_over and ev_over[0][0] <= cycle):
+            ev_marks = self._ev_marks
+            if bucket is None:
+                bucket = self._ev_buckets[cycle & mask] = []
+            while ev_over and ev_over[0][0] <= cycle:
+                bucket.append(heappop(ev_over)[2])
+            while ev_marks and ev_marks[0] <= cycle:
+                heappop(ev_marks)
+            n_due = len(bucket)
+            if n_due > 1:
+                if n_due == 2:
+                    a, b = bucket
+                    if b.gseq < a.gseq:   # age order, no key array
+                        bucket[0] = b
+                        bucket[1] = a
+                else:
+                    bucket.sort(key=_BY_GSEQ)
             complete = self._complete
-            while events and events[0][0] <= cycle:
-                _, _, di = heappop(events)
+            for di in bucket:
                 complete(di, cycle)
-        detects = self._detects
-        if detects and detects[0][0] <= cycle:
+            bucket.clear()
+        bucket = self._dt_buckets[cycle & mask]
+        dt_over = self._dt_over
+        if bucket or (dt_over and dt_over[0][0] <= cycle):
+            dt_marks = self._dt_marks
+            if bucket is None:
+                bucket = self._dt_buckets[cycle & mask] = []
+            while dt_over and dt_over[0][0] <= cycle:
+                bucket.append(heappop(dt_over)[2])
+            while dt_marks and dt_marks[0] <= cycle:
+                heappop(dt_marks)
+            n_due = len(bucket)
+            if n_due > 1:
+                if n_due == 2:
+                    a, b = bucket
+                    if b.gseq < a.gseq:   # age order, no key array
+                        bucket[0] = b
+                        bucket[1] = a
+                else:
+                    bucket.sort(key=_BY_GSEQ)
             on_ll_detect = self.policy.on_ll_detect
             threads = self.threads
-            while detects and detects[0][0] <= cycle:
-                _, _, di = heappop(detects)
+            for di in bucket:
                 di.in_detects = False
                 if di.squashed or di.completed:
                     continue
                 on_ll_detect(di, threads[di.thread])
+            bucket.clear()
 
     def _complete(self, di: DynInstr, cycle: int) -> None:
         ts = self.threads[di.thread]
@@ -601,15 +937,27 @@ class SMTCore:
         if di.squashed:
             return
         di.completed = True
-        self._commit_pending = True
-        waiters = di.waiters
-        if waiters:
+        self._commit_pending = True   # unconditional: RunaheadCore's commit
+        #                               stage acts on incomplete heads too
+        window = ts.window
+        if window and window[0] is di:
+            ts.head_ready = True
+            self._heads_mask |= ts.tid_bit
+        w = di.waiter0
+        if w is not None:
+            di.waiter0 = None
             ready_by_op = self._ready_by_op
-            for w in waiters:
-                w.pending -= 1
-                if w.pending == 0 and not w.squashed and w.in_iq and not w.issued:
-                    heappush(ready_by_op[w.instr.op_i], (w.gseq, w))
-            di.waiters = None
+            w.pending -= 1
+            if w.pending == 0 and not w.squashed and w.in_iq and not w.issued:
+                heappush(ready_by_op[w.instr.op_i], (w.gseq, w))
+            waiters = di.waiters
+            if waiters is not None:
+                di.waiters = None
+                for w in waiters:
+                    w.pending -= 1
+                    if (w.pending == 0 and not w.squashed
+                            and w.in_iq and not w.issued):
+                        heappush(ready_by_op[w.instr.op_i], (w.gseq, w))
         if di.is_branch and ts.waiting_branch is di:
             ts.waiting_branch = None
             ts.stats.branch_stall_cycles += cycle - ts.branch_wait_since
@@ -637,59 +985,89 @@ class SMTCore:
         threads = self.threads
         n = self._n_threads
         budget = self._commit_width
+        heads_mask = self._heads_mask
         # Rotate by cycle number (not by call count) so fast-forwarded and
-        # naive runs stay cycle-exact.
-        order = threads if n == 1 else self._rotations[cycle % n]
-        wb = self._wb
+        # naive runs stay cycle-exact; the rotation is filtered to the
+        # ready-head mask so idle threads are never even iterated.
+        if n == 1:
+            order = threads
+        else:
+            rot_cache = self._rot_cache
+            if rot_cache is None:
+                order = self._rotations[cycle % n]
+            else:
+                slot = heads_mask * n + cycle % n
+                order = rot_cache[slot]
+                if order is None:
+                    order = tuple(
+                        ts for ts in self._rotations[cycle % n]
+                        if heads_mask >> ts.tid & 1)
+                    rot_cache[slot] = order
         wb_entries = self._wb_entries
         pool = self._di_pool
+        # Per-retire bookkeeping is batched across the pass
+        # (TODO(perf/commit-bookkeeping), closed): the shared resource
+        # counters, the watermark, and the release epoch live in locals
+        # for the whole stage (nothing inside the loop observes them),
+        # and consecutive non-long-latency retires advance each thread's
+        # LLSR as one staged zero run (``ts.llsr_zeros``), coalesced into
+        # a single ``commit_zeros`` ring advance — flushed before any
+        # same-thread long-latency commit and again after the loop, so
+        # LLSR order and every measurement it fires are exactly the
+        # per-retire sequence's.
+        rob_used = self.rob_used
+        lsq_used = self.lsq_used
+        int_regs_used = self.int_regs_used
+        fp_regs_used = self.fp_regs_used
+        watermark = self._committed_watermark
         measure_start = self._measure_start
-        wb_blocked = False
         # A thread's head only changes when that thread commits, so after
-        # the first full rotation pass only the threads that committed
-        # need re-checking; everything else would reject for the same
-        # reason it just did.
-        current = order
+        # the first rotation pass another lap is owed only while some
+        # thread is still making progress; ``head_ready`` makes re-probing
+        # a stale thread two cheap ops, so the lap re-walks the (already
+        # mask-filtered) order instead of building per-pass recheck lists.
         while budget > 0:
-            recheck = None
-            for ts in current:
+            progress = False
+            for ts in order:
                 if budget == 0:
                     break
+                if not ts.head_ready:
+                    continue
                 window = ts.window
-                if not window:
-                    continue
                 di = window[0]
-                if not di.completed:
-                    continue
                 instr = di.instr
                 if di.is_store:
-                    if len(wb) >= wb_entries:
-                        wb_blocked = True
+                    if self._wb_used >= wb_entries:
+                        # Write buffer full: the head stays completed, so
+                        # its ``heads_mask`` bit keeps the commit gate set
+                        # and the retry happens by time.
                         continue
                     result = self._hier_store(ts.tid, instr.pc,
                                               instr.addr, cycle)
-                    heappush(wb, result.complete_cycle)
+                    self._schedule_wb_drain(result.complete_cycle, cycle)
                 window.popleft()
+                if not window or not window[0].completed:
+                    ts.head_ready = False
+                    heads_mask &= ~ts.tid_bit
+                rob_used -= 1
                 ts.rob_count -= 1
-                self.rob_used -= 1
-                if di.is_load or di.is_store:
-                    ts.lsq_count -= 1
-                    self.lsq_used -= 1
-                if di.has_dest:
-                    if di.dest_fp:
-                        ts.fp_regs -= 1
-                        self.fp_regs_used -= 1
-                    else:
-                        ts.int_regs -= 1
-                        self.int_regs_used -= 1
-                self._release_epoch += 1
                 st = ts.stats
                 committed = st.committed + 1
                 st.committed = committed
-                if committed > self._committed_watermark:
-                    self._committed_watermark = committed
+                if committed > watermark:
+                    watermark = committed
                 if ts.commit_cycles is not None:
                     ts.commit_cycles.append(cycle - measure_start)
+                if di.is_load or di.is_store:
+                    ts.lsq_count -= 1
+                    lsq_used -= 1
+                if di.has_dest:
+                    if di.dest_fp:
+                        ts.fp_regs -= 1
+                        fp_regs_used -= 1
+                    else:
+                        ts.int_regs -= 1
+                        int_regs_used -= 1
                 dependent = False
                 parents = di.ll_parents
                 if parents is not None:
@@ -703,7 +1081,14 @@ class SMTCore:
                                 and not p.in_detects
                                 and p not in ts.ll_owners):
                             pool.append(p)
-                ts.llsr_commit(di.is_load and di.is_ll, instr.pc, dependent)
+                if di.is_load and di.is_ll:
+                    z = ts.llsr_zeros
+                    if z:
+                        ts.llsr_zeros = 0
+                        ts.llsr_commit_zeros(z)
+                    ts.llsr_commit(True, instr.pc, dependent)
+                else:
+                    ts.llsr_zeros += 1
                 old = di.old_map
                 if old is not None:
                     di.old_map = None
@@ -719,17 +1104,27 @@ class SMTCore:
                         and di not in ts.ll_owners):
                     pool.append(di)
                 budget -= 1
-                if recheck is None:
-                    recheck = [ts]
-                else:
-                    recheck.append(ts)
-            if recheck is None:
+                progress = True
+            if not progress:
                 break
-            current = recheck
-        # Keep the gate set while leftover progress is possible: a
-        # budget-limited pass may have left committable heads, and a
-        # write-buffer-blocked store unblocks by time, not by an event.
-        self._commit_pending = budget == 0 or wb_blocked
+        if budget < self._commit_width:   # at least one retire happened
+            for ts in order:
+                z = ts.llsr_zeros
+                if z:
+                    ts.llsr_zeros = 0
+                    ts.llsr_commit_zeros(z)
+            self._committed_watermark = watermark
+            self._release_epoch += 1
+            self.rob_used = rob_used
+            self.lsq_used = lsq_used
+            self.int_regs_used = int_regs_used
+            self.fp_regs_used = fp_regs_used
+            self._heads_mask = heads_mask
+        # Keep the gate set exactly while leftover progress is possible:
+        # a non-zero head mask means a budget-limited pass left
+        # committable heads, or a write-buffer-blocked store head (which
+        # unblocks by time) is still ready.
+        self._commit_pending = heads_mask != 0
 
     def _commit_one(self, ts: ThreadState, cycle: int) -> bool:
         window = ts.window
@@ -740,12 +1135,17 @@ class SMTCore:
             return False
         instr = di.instr
         if di.is_store:
-            wb = self._wb
-            if len(wb) >= self._wb_entries:
+            if self._wb_used >= self._wb_entries:
                 return False
             result = self.hierarchy.store(ts.tid, instr.pc, instr.addr, cycle)
-            heappush(wb, result.complete_cycle)
+            self._schedule_wb_drain(result.complete_cycle, cycle)
         window.popleft()
+        if window and window[0].completed:
+            ts.head_ready = True
+            self._heads_mask |= ts.tid_bit
+        else:
+            ts.head_ready = False
+            self._heads_mask &= ~ts.tid_bit
         ts.rob_count -= 1
         self.rob_used -= 1
         if di.is_load or di.is_store:
@@ -812,14 +1212,69 @@ class SMTCore:
             pool.append(di)
 
     # ------------------------------------------------------------------ #
+    # event-wheel scheduling (cold-path forms; the hot paths inline the
+    # same pushes — keep them in sync)
+    # ------------------------------------------------------------------ #
+
+    def _schedule_completion(self, di: DynInstr, when: int,
+                             cycle: int) -> None:
+        """Queue ``di``'s completion event at ``when``.
+
+        Heap-equivalent semantics: a ``when`` at or before the current
+        cycle lands at ``cycle + 1`` — exactly when the old heap would
+        have popped it (the drain for ``cycle`` has already run).
+        """
+        if when <= cycle:
+            when = cycle + 1
+        mask = self._wheel_mask
+        if when - cycle <= mask:
+            idx = when & mask
+            bucket = self._ev_buckets[idx]
+            if bucket:
+                bucket.append(di)
+            else:
+                if bucket is None:
+                    self._ev_buckets[idx] = [di]
+                else:
+                    bucket.append(di)
+                heappush(self._ev_marks, when)
+        else:
+            heappush(self._ev_over, (when, di.gseq, di))
+
+    def _schedule_wb_drain(self, when: int, cycle: int) -> None:
+        """Occupy one write-buffer entry until ``when``."""
+        if when <= cycle:
+            when = cycle + 1
+        mask = self._wheel_mask
+        if when - cycle <= mask:
+            idx = when & mask
+            if not self._wb_buckets[idx]:
+                heappush(self._wb_marks, when)
+            self._wb_buckets[idx] += 1
+        else:
+            heappush(self._wb_over, when)
+        self._wb_used += 1
+
+    # ------------------------------------------------------------------ #
     # issue / execute
     # ------------------------------------------------------------------ #
 
     def _issue(self, cycle: int) -> None:
         # self._execute is looked up per call (not bound at construction)
         # on purpose: RunaheadCore overrides it, and tests monkeypatch it
-        # on instances to spy on the issue stream.
+        # on instances to spy on the issue stream.  The non-memory fast
+        # path (fixed-latency completion, no hierarchy, no predictors) is
+        # additionally inlined below — one wheel push instead of a Python
+        # call per ALU/FP/store instruction — but only when ``_execute``
+        # is provably unshadowed: neither overridden on the class
+        # (RunaheadCore) nor monkeypatched on the instance (test spies).
         execute = self._execute
+        inline = (self._execute_is_base
+                  and "_execute" not in self.__dict__)
+        threads = self.threads
+        ev_buckets = self._ev_buckets
+        ev_marks = self._ev_marks
+        mask = self._wheel_mask
         issued = False
         queue = self._ready_int
         if queue:
@@ -828,7 +1283,32 @@ class SMTCore:
                 _, di = heappop(queue)
                 if di.squashed or di.issued or di.completed:
                     continue
-                execute(di, cycle)
+                if inline:
+                    # _execute's non-load body — keep in sync.
+                    ts = threads[di.thread]
+                    di.issued = True
+                    if di.in_iq:
+                        di.in_iq = False
+                        if di.iq_is_fp:
+                            ts.fq_count -= 1
+                            self.fq_used -= 1
+                        else:
+                            ts.iq_count -= 1
+                            self.iq_used -= 1
+                        ts.icount -= 1
+                    completion = cycle + di.instr.latency
+                    idx = completion & mask   # always in-horizon (<= 4)
+                    bucket = ev_buckets[idx]
+                    if bucket:
+                        bucket.append(di)
+                    else:
+                        if bucket is None:
+                            ev_buckets[idx] = [di]
+                        else:
+                            bucket.append(di)
+                        heappush(ev_marks, completion)
+                else:
+                    execute(di, cycle)
                 slots -= 1
                 issued = True
         queue = self._ready_ldst
@@ -838,7 +1318,34 @@ class SMTCore:
                 _, di = heappop(queue)
                 if di.squashed or di.issued or di.completed:
                     continue
-                execute(di, cycle)
+                if inline and not di.is_load:
+                    # Stores at execute are address generation only; the
+                    # memory access happens at commit via the write
+                    # buffer.  Same non-load body as above.
+                    ts = threads[di.thread]
+                    di.issued = True
+                    if di.in_iq:
+                        di.in_iq = False
+                        if di.iq_is_fp:
+                            ts.fq_count -= 1
+                            self.fq_used -= 1
+                        else:
+                            ts.iq_count -= 1
+                            self.iq_used -= 1
+                        ts.icount -= 1
+                    completion = cycle + di.instr.latency
+                    idx = completion & mask
+                    bucket = ev_buckets[idx]
+                    if bucket:
+                        bucket.append(di)
+                    else:
+                        if bucket is None:
+                            ev_buckets[idx] = [di]
+                        else:
+                            bucket.append(di)
+                        heappush(ev_marks, completion)
+                else:
+                    execute(di, cycle)
                 slots -= 1
                 issued = True
         queue = self._ready_fp
@@ -848,7 +1355,31 @@ class SMTCore:
                 _, di = heappop(queue)
                 if di.squashed or di.issued or di.completed:
                     continue
-                execute(di, cycle)
+                if inline:
+                    ts = threads[di.thread]
+                    di.issued = True
+                    if di.in_iq:
+                        di.in_iq = False
+                        if di.iq_is_fp:
+                            ts.fq_count -= 1
+                            self.fq_used -= 1
+                        else:
+                            ts.iq_count -= 1
+                            self.iq_used -= 1
+                        ts.icount -= 1
+                    completion = cycle + di.instr.latency
+                    idx = completion & mask
+                    bucket = ev_buckets[idx]
+                    if bucket:
+                        bucket.append(di)
+                    else:
+                        if bucket is None:
+                            ev_buckets[idx] = [di]
+                        else:
+                            bucket.append(di)
+                        heappush(ev_marks, completion)
+                else:
+                    execute(di, cycle)
                 slots -= 1
                 issued = True
         if issued:
@@ -871,10 +1402,9 @@ class SMTCore:
             # (the release-epoch bump for the IQ slot is batched at the
             # end of _issue — nothing reads the epoch mid-issue.)
         instr = di.instr
-        op_i = instr.op_i
         if di.is_load:
             result = self._hier_load(
-                ts.tid, instr.pc, instr.addr, cycle + EXEC_LATENCY_BY_OP[op_i])
+                ts.tid, instr.pc, instr.addr, cycle + instr.latency)
             completion = result.complete_cycle
             is_ll = result.long_latency
             di.is_ll = is_ll
@@ -895,15 +1425,48 @@ class SMTCore:
                 stats.ll_loads += 1
             if result.trigger:
                 di.in_detects = True
-                heappush(self._detects,
-                         (result.detect_cycle, di.gseq, di))
+                # Detection wheel push (detect horizons are L2-bounded,
+                # but the spill guard keeps odd configs exact).
+                when = result.detect_cycle
+                if when <= cycle:
+                    when = cycle + 1
+                mask = self._wheel_mask
+                if when - cycle <= mask:
+                    idx = when & mask
+                    bucket = self._dt_buckets[idx]
+                    if bucket:
+                        bucket.append(di)
+                    else:
+                        if bucket is None:
+                            self._dt_buckets[idx] = [di]
+                        else:
+                            bucket.append(di)
+                        heappush(self._dt_marks, when)
+                else:
+                    heappush(self._dt_over, (when, di.gseq, di))
             di.fill_line = result.fill_line
             if result.level is not ServiceLevel.L1:
                 ts.outstanding_misses += 1
                 di.pending = -1  # marks "counted as outstanding miss"
         else:
-            completion = cycle + EXEC_LATENCY_BY_OP[op_i]
-        heappush(self._events, (completion, di.gseq, di))
+            completion = cycle + instr.latency
+        # Completion wheel push (every path lands strictly after
+        # ``cycle``, so no clamp is needed here — see _schedule_completion
+        # for the cold-path form with the clamp).
+        mask = self._wheel_mask
+        if completion - cycle <= mask:
+            idx = completion & mask
+            bucket = self._ev_buckets[idx]
+            if bucket:
+                bucket.append(di)
+            else:
+                if bucket is None:
+                    self._ev_buckets[idx] = [di]
+                else:
+                    bucket.append(di)
+                heappush(self._ev_marks, completion)
+        else:
+            heappush(self._ev_over, (completion, di.gseq, di))
 
     # ------------------------------------------------------------------ #
     # dispatch (rename + resource allocation)
@@ -932,7 +1495,27 @@ class SMTCore:
         n = self._n_threads
         release_epoch = self._release_epoch
         hoisted = False
-        for ts in self._rotations[(cycle + 1) % n]:  # offset from commit
+        # The rotation (offset from commit) is filtered to the threads
+        # with a non-empty front-end queue: nothing below can act on an
+        # empty one, and at high thread counts most rotation hops were
+        # exactly that.
+        if n == 1:
+            order = self.threads
+        else:
+            rot_cache = self._rot_cache
+            slot = (cycle + 1) % n
+            fe_mask = self._fe_mask
+            if rot_cache is None or fe_mask == self._full_mask:
+                order = self._rotations[slot]
+            else:
+                key = fe_mask * n + slot
+                order = rot_cache[key]
+                if order is None:
+                    order = tuple(
+                        ts for ts in self._rotations[slot]
+                        if fe_mask >> ts.tid & 1)
+                    rot_cache[key] = order
+        for ts in order:
             if budget == 0:
                 break
             if cycle < ts.dispatch_wait_until:
@@ -975,8 +1558,19 @@ class SMTCore:
                 int_rename_regs = self._int_rename_regs
                 fp_rename_regs = self._fp_rename_regs
                 fe_capacity = self._fe_capacity
+                # When every shared structure has at least ``budget``
+                # slots of headroom, no per-instruction resource gate can
+                # fail anywhere in this stage call (dispatches consume at
+                # most one slot per structure each, and ``budget`` bounds
+                # the total), so the whole gate block is skipped.
+                gates_free = (
+                    rob_size - rob_used >= budget
+                    and lsq_size - lsq_used >= budget
+                    and int_iq_size - iq_used >= budget
+                    and fp_iq_size - fq_used >= budget
+                    and int_rename_regs - int_regs_used >= budget
+                    and fp_rename_regs - fp_regs_used >= budget)
             rename_map = ts.rename_map
-            rename_get = rename_map.get
             window_append = ts.window.append
             fe_was_full = len(fe) >= fe_capacity
             # Per-thread counters as locals for this thread's burst;
@@ -995,43 +1589,44 @@ class SMTCore:
                     ts.dispatch_wait_until = di.fe_ready
                     break
                 any_ready = True
-                # Shared-resource gates (block => resource stall).
-                if rob_used >= rob_size:
-                    ts.dispatch_blocked_head = di
-                    ts.dispatch_blocked_epoch = release_epoch
-                    blocked_by_resource = True
-                    break
                 instr = di.instr
                 is_mem = di.is_load or di.is_store
-                if is_mem and lsq_used >= lsq_size:
-                    ts.dispatch_blocked_head = di
-                    ts.dispatch_blocked_epoch = release_epoch
-                    blocked_by_resource = True
-                    break
                 fp_queue = instr.fp_queue
-                if fp_queue:
-                    if fq_used >= fp_iq_size:
+                if not gates_free:
+                    # Shared-resource gates (block => resource stall).
+                    if rob_used >= rob_size:
                         ts.dispatch_blocked_head = di
                         ts.dispatch_blocked_epoch = release_epoch
                         blocked_by_resource = True
                         break
-                elif iq_used >= int_iq_size:
-                    ts.dispatch_blocked_head = di
-                    ts.dispatch_blocked_epoch = release_epoch
-                    blocked_by_resource = True
-                    break
-                if di.has_dest:
-                    if di.dest_fp:
-                        if fp_regs_used >= fp_rename_regs:
+                    if is_mem and lsq_used >= lsq_size:
+                        ts.dispatch_blocked_head = di
+                        ts.dispatch_blocked_epoch = release_epoch
+                        blocked_by_resource = True
+                        break
+                    if fp_queue:
+                        if fq_used >= fp_iq_size:
                             ts.dispatch_blocked_head = di
                             ts.dispatch_blocked_epoch = release_epoch
                             blocked_by_resource = True
                             break
-                    elif int_regs_used >= int_rename_regs:
+                    elif iq_used >= int_iq_size:
                         ts.dispatch_blocked_head = di
                         ts.dispatch_blocked_epoch = release_epoch
                         blocked_by_resource = True
                         break
+                    if di.has_dest:
+                        if di.dest_fp:
+                            if fp_regs_used >= fp_rename_regs:
+                                ts.dispatch_blocked_head = di
+                                ts.dispatch_blocked_epoch = release_epoch
+                                blocked_by_resource = True
+                                break
+                        elif int_regs_used >= int_rename_regs:
+                            ts.dispatch_blocked_head = di
+                            ts.dispatch_blocked_epoch = release_epoch
+                            blocked_by_resource = True
+                            break
                 if can_dispatch is not None:
                     if tl_dirty:
                         tl_dirty = False
@@ -1062,7 +1657,7 @@ class SMTCore:
                 di.iq_is_fp = fp_queue
                 parents: list[DynInstr] | None = [] if track_dep else None
                 for src in instr.srcs:
-                    prod = rename_get(src)
+                    prod = rename_map[src]
                     if prod is None:
                         continue
                     if track_dep and (prod.is_load
@@ -1072,7 +1667,9 @@ class SMTCore:
                         prod.refs += 1
                     if not prod.completed:
                         di.pending += 1
-                        if prod.waiters is None:
+                        if prod.waiter0 is None:
+                            prod.waiter0 = di
+                        elif prod.waiters is None:
                             prod.waiters = [di]
                         else:
                             prod.waiters.append(di)
@@ -1080,7 +1677,7 @@ class SMTCore:
                     di.ll_parents = tuple(parents)
                 if di.has_dest:
                     dest = instr.dest
-                    di.old_map = rename_get(dest)
+                    di.old_map = rename_map[dest]
                     rename_map[dest] = di
                     di.refs += 1  # rename-current; the old entry's ref
                     #              transfers to the old_map backref
@@ -1106,6 +1703,8 @@ class SMTCore:
             if fe_was_full and len(fe) < fe_capacity:
                 # Pops opened fetch-queue headroom: eligibility changed.
                 self._fetch_wake = 0
+            if not fe:
+                self._fe_mask &= ~ts.tid_bit
         if dispatched:
             self.rob_used = rob_used
             self.lsq_used = lsq_used
@@ -1127,7 +1726,22 @@ class SMTCore:
             self._dispatch_wake = wake
         if any_ready and dispatched == 0 and blocked_by_resource:
             self.stats.resource_stall_cycles += 1
-            self.policy.on_resource_stall(cycle)
+            on_resource_stall = self._policy_on_resource_stall
+            if on_resource_stall is not None:   # None: marked no-op hook
+                on_resource_stall(cycle)
+            elif self._policy_can_dispatch is None:
+                # Every ready head hit a full shared resource, the hook
+                # is a no-op and there is no dispatch cap: the verdict
+                # repeats until a release (epoch, captured *before* any
+                # hook could flush), a head arriving through the front
+                # end by time, or a fetch/flush invalidation.
+                wake = cycle + (1 << 30)
+                for ts in self.threads:
+                    wait_until = ts.dispatch_wait_until
+                    if cycle < wait_until < wake:
+                        wake = wait_until
+                self._stall_latch_until = wake
+                self._stall_latch_epoch = release_epoch
 
     def _try_dispatch(self, ts: ThreadState, di: DynInstr) -> bool | None:
         """Dispatch ``di``; returns None on success, else whether the block
@@ -1167,14 +1781,13 @@ class SMTCore:
         di.in_iq = True
         di.iq_is_fp = fp_queue
         rename_map = ts.rename_map
-        rename_get = rename_map.get
         track_dep = self._track_ll_dep
         parents: list[DynInstr] | None = [] if track_dep else None
         # Runahead INV instructions carry bogus values: they neither wait
         # for producers nor execute for real (see repro.runahead.core).
         wait = not di.inv
         for src in instr.srcs:
-            prod = rename_get(src)
+            prod = rename_map[src]
             if prod is None:
                 continue
             if track_dep and (prod.is_load or prod.ll_parents is not None
@@ -1183,7 +1796,9 @@ class SMTCore:
                 prod.refs += 1
             if wait and not prod.completed:
                 di.pending += 1
-                if prod.waiters is None:
+                if prod.waiter0 is None:
+                    prod.waiter0 = di
+                elif prod.waiters is None:
                     prod.waiters = [di]
                 else:
                     prod.waiters.append(di)
@@ -1191,7 +1806,7 @@ class SMTCore:
             di.ll_parents = tuple(parents)
         if di.has_dest:
             dest = instr.dest
-            di.old_map = rename_get(dest)
+            di.old_map = rename_map[dest]
             rename_map[dest] = di
             di.refs += 1  # rename-current; the old entry's ref transfers
             #              to the old_map backref
@@ -1219,12 +1834,16 @@ class SMTCore:
     def _rebuild_fetch_candidates(self) -> None:
         """Re-derive the policy-unstalled thread list (tid order).
 
-        Called by :meth:`ThreadState._sync_policy_stall` on every
-        stall/unstall transition — the only events that change fetch
-        *eligibility* under the ``allowed_end`` mechanism.
+        Normal operation maintains the list *incrementally* (a remove or
+        tid-ordered insert per stall/unstall transition — see
+        :meth:`ThreadState._sync_policy_stall`); this full rebuild is the
+        recovery form for tests and tools that mutate stall state behind
+        the transition function's back.  The list object's identity is
+        stable for the core's lifetime (the fused run loop hoists it), so
+        the rebuild mutates in place.
         """
-        self._fetch_candidates = [ts for ts in self.threads
-                                  if not ts.policy_stalled_flag]
+        self._fetch_candidates[:] = [ts for ts in self.threads
+                                     if not ts.policy_stalled_flag]
         self._fetch_wake = 0
 
     def _compute_fetch_wake(self, cycle: int) -> int:
@@ -1265,7 +1884,6 @@ class SMTCore:
         pc_origin = ts.pc_origin
         on_fetch = self._policy_on_fetch       # None: no-op for all instrs
         on_fetch_load = self._policy_on_fetch_load  # None: not loads-only
-        lll_predict = ts.lll_predict
         fe_queue = ts.fe_queue
         fe_append = ts.fe_append
         line_shift = self._line_shift
@@ -1303,7 +1921,25 @@ class SMTCore:
             gseq += 1
             if pool:
                 di = pool.pop()
-                di.reinit(instr, tid, fetch_index, gseq, fe_ready)
+                # DynInstr.reinit, inlined (one call per fetched
+                # instruction was measurable) — keep in sync.
+                di.instr = instr
+                di.thread = tid
+                di.seq = fetch_index
+                di.gseq = gseq
+                di.pending = 0
+                di.fe_ready = fe_ready
+                di.issued = False
+                di.completed = False
+                di.has_dest = instr.has_dest
+                di.dest_fp = instr.dest_fp
+                di.is_load = instr.is_load
+                di.is_store = instr.is_store
+                di.is_branch = instr.is_branch
+                di.is_ll = False
+                di.fill_line = None
+                di.ll_dep = False
+                di.retired = False
             else:
                 di = DynInstr(instr, tid, fetch_index, gseq, fe_ready)
             fe_append(di)
@@ -1311,7 +1947,7 @@ class SMTCore:
             ts.icount += 1
             count += 1
             if di.is_load:
-                di.predicted_ll = lll_predict(instr.pc)
+                di.predicted_ll = ts.lll_predict(instr.pc)
                 if on_fetch_load is not None:
                     on_fetch_load(di, ts)
                     allowed_end = ts.allowed_end  # the hook may update it
@@ -1344,6 +1980,8 @@ class SMTCore:
             if fe_was_empty:
                 # A fresh head exists where dispatch saw nothing.
                 self._dispatch_wake = 0
+                self._stall_latch_until = 0
+                self._fe_mask |= 1 << tid
         # The fetch index may have crossed allowed_end mid-burst; fold the
         # transition into the event-driven stall state.
         ts._sync_policy_stall(cycle)
@@ -1445,6 +2083,20 @@ class SMTCore:
             ts.stats.branch_stall_cycles += self.cycle - ts.branch_wait_since
         ts.fetch_index = after_seq + 1
         ts.last_ifetch_line = -1
+        # The squash may have removed the ROB head (or the whole window)
+        # and may have emptied the front-end queue; re-derive the
+        # event-maintained head flag and both activity masks.
+        bit = ts.tid_bit
+        if window and window[0].completed:
+            ts.head_ready = True
+            self._heads_mask |= bit
+        else:
+            ts.head_ready = False
+            self._heads_mask &= ~bit
+        if fe:
+            self._fe_mask |= bit
+        else:
+            self._fe_mask &= ~bit
         ts.stats.squashed += squashed
         ts.stats.flushes += 1
         # Squashing released shared resources and rewound the fetch index:
@@ -1452,6 +2104,7 @@ class SMTCore:
         self._release_epoch += 1
         self._fetch_wake = 0
         self._dispatch_wake = 0
+        self._stall_latch_until = 0
         ts._sync_policy_stall(cycle)
         return squashed
 
@@ -1474,11 +2127,13 @@ class SMTCore:
     def _next_cycle(self, cycle: int) -> int:
         # step() has already established that nothing can fetch or issue
         # at ``nxt``; find the earliest future cycle where anything can
-        # happen, or prove the pipeline is wedged.
+        # happen, or prove the pipeline is wedged.  The wheel mark heaps
+        # are exact indexes of the pending bucket cycles (one int per
+        # armed cycle, stale marks popped at drain), so the earliest-
+        # event peeks stay O(1) without the old tuple heaps.
         nxt = cycle + 1
         candidates = []
-        wb = self._wb
-        wb_full = len(wb) >= self._wb_entries
+        wb_full = self._wb_used >= self._wb_entries
         head_retirable = self._head_retirable
         for ts in self.threads:
             if head_retirable(ts, wb_full):
@@ -1491,12 +2146,18 @@ class SMTCore:
                 candidates.append(head_ready)
             if ts.fetch_blocked_until > nxt:
                 candidates.append(ts.fetch_blocked_until)
-        if self._events:
-            candidates.append(self._events[0][0])
-        if self._detects:
-            candidates.append(self._detects[0][0])
-        if wb:
-            candidates.append(wb[0])
+        if self._ev_marks:
+            candidates.append(self._ev_marks[0])
+        if self._ev_over:
+            candidates.append(self._ev_over[0][0])
+        if self._dt_marks:
+            candidates.append(self._dt_marks[0])
+        if self._dt_over:
+            candidates.append(self._dt_over[0][0])
+        if self._wb_marks:
+            candidates.append(self._wb_marks[0])
+        if self._wb_over:
+            candidates.append(self._wb_over[0])
         if not candidates:
             raise SimulationDeadlock(
                 f"no future events at cycle {cycle}; pipeline is wedged")

@@ -24,7 +24,7 @@ class DynInstr:
 
     __slots__ = (
         "instr", "thread", "seq", "gseq",
-        "pending", "waiters",
+        "pending", "waiter0", "waiters",
         "fe_ready", "in_iq", "iq_is_fp", "issued",
         "completed",
         "has_dest", "dest_fp", "old_map",
@@ -42,6 +42,10 @@ class DynInstr:
         self.seq = seq
         self.gseq = gseq
         self.pending = 0
+        # Dependents blocked on this record: the common single waiter
+        # lives inline in ``waiter0`` (no list allocation); ``waiters``
+        # holds the overflow and is only non-None when ``waiter0`` is.
+        self.waiter0: DynInstr | None = None
         self.waiters: list[DynInstr] | None = None
         self.fe_ready = fe_ready
         self.in_iq = False
@@ -80,13 +84,23 @@ class DynInstr:
         The commit-path recycle guards admit a record to the pool only
         when it retired with no live references, so these fields are
         *provably* already pristine and are not re-written here:
-        ``waiters``/``old_map``/``ll_parents`` are ``None`` (drained at
-        completion / cleared at commit), ``squashed`` and ``inv`` are
-        False (committed records are neither; RunaheadCore, the only INV
-        producer, opts out of pooling), ``in_iq`` is False (issue cleared
-        it), ``refs`` is 0 and ``in_detects`` False (recycle guards).
-        ``tests/test_pool.py`` cross-checks a reused record against a
-        fresh one field by field.
+        ``waiter0``/``waiters``/``old_map``/``ll_parents`` are ``None``
+        (drained at completion / cleared at commit), ``squashed`` and
+        ``inv`` are False (committed records are neither; RunaheadCore,
+        the only INV producer, opts out of pooling), ``in_iq`` is False
+        (issue cleared it), ``refs`` is 0 and ``in_detects`` False
+        (recycle guards).  Three further fields may carry a stale value
+        but are always written before their first possible read in the
+        new lifetime, so they are skipped too: ``iq_is_fp`` (written at
+        dispatch; every read is gated on ``in_iq``), ``predicted_ll``
+        (written at fetch for loads; every read is gated on
+        ``is_load``), and ``level`` (written at execute for loads; read
+        only for completed loads).  ``tests/test_pool.py`` cross-checks
+        a reused record against a fresh one field by field, modulo that
+        documented skip list.
+
+        The fetch loop inlines this body (``SMTCore._fetch_thread``) —
+        keep the two in sync.
         """
         self.instr = instr
         self.thread = thread
@@ -94,7 +108,6 @@ class DynInstr:
         self.gseq = gseq
         self.pending = 0         # loads park -1 here as a miss marker
         self.fe_ready = fe_ready
-        self.iq_is_fp = False
         self.issued = False
         self.completed = False
         self.has_dest = instr.has_dest
@@ -103,9 +116,7 @@ class DynInstr:
         self.is_store = instr.is_store
         self.is_branch = instr.is_branch
         self.is_ll = False
-        self.predicted_ll = None
         self.fill_line = None
-        self.level = None
         self.ll_dep = False
         self.retired = False
 

@@ -6,6 +6,7 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.config import SMTConfig
+from repro.isa import NUM_ARCH_REGS
 from repro.pipeline.stats import ThreadStats
 from repro.predictors import (
     LLL_PREDICTORS,
@@ -43,16 +44,28 @@ class ThreadState:
         "dispatch_blocked_head", "dispatch_blocked_epoch",
         "dispatch_wait_until",
         "trace_get", "fe_append", "lll_predict", "pc_origin",
-        "llsr_commit", "trace_static", "trace_body_len",
+        "llsr_commit", "llsr_commit_zeros", "trace_static",
+        "trace_body_len", "llsr_zeros",
+        "head_ready", "tid_bit",
     )
 
     def __init__(self, tid: int, trace: "SyntheticTrace", cfg: SMTConfig):
         self.tid = tid
+        #: This thread's bit in the core's activity bitmasks
+        #: (``_fe_mask`` / ``_heads_mask`` — see ``SMTCore``).
+        self.tid_bit = 1 << tid
         self.trace = trace
         self.fetch_index = 0
         self.fe_queue: deque[DynInstr] = deque()
         self.window: deque[DynInstr] = deque()
-        self.rename_map: dict[int, DynInstr | None] = {}
+        #: Rename map as a fixed array indexed by the dense architectural
+        #: register number (ints 0..31 and fps 32..63 partition the same
+        #: flat space — see :mod:`repro.isa.instruction`), replacing the
+        #: dict the dispatch loop used to hash into per source operand.
+        #: ``None`` means "no in-flight producer"; flush undo writes the
+        #: ``old_map`` backref straight into the slot, so the DynInstr
+        #: pooling reference accounting is byte-for-byte the dict's.
+        self.rename_map: list[DynInstr | None] = [None] * NUM_ARCH_REGS
         self.icount = 0
         self.rob_count = 0
         self.lsq_count = 0
@@ -124,6 +137,22 @@ class ThreadState:
         self.lll_predict = self.lll_pred.predict
         self.pc_origin = trace.pc_address(0)
         self.llsr_commit = self.llsr.commit
+        self.llsr_commit_zeros = self.llsr.commit_zeros
+        # Commit-stage staging slot (see ``SMTCore._commit``): the run of
+        # consecutive non-long-latency retires not yet shifted into the
+        # LLSR, coalesced into one ``commit_zeros`` ring advance before a
+        # same-thread long-latency commit or at the end of the commit
+        # pass.  Always zero between stages.
+        self.llsr_zeros = 0
+        #: Event-maintained "ROB head is completed" flag, kept exact at
+        #: the three transitions that can change it — a completion event
+        #: landing on the current head, a retire exposing a new head,
+        #: and a flush (recomputed after the squash) — so the commit
+        #: rotation scan is a single slot load per thread instead of a
+        #: deque probe.  Only the base ``SMTCore._commit`` reads it;
+        #: RunaheadCore's commit loop can progress on incomplete heads
+        #: and keeps its own generic scan.
+        self.head_ready = False
         # Direct view of the trace's pre-materialized static instructions
         # (None for duck-typed stub traces): lets the fetch loop skip the
         # ``get`` call for iteration-invariant slots.
@@ -190,7 +219,22 @@ class ThreadState:
             self.stats.policy_stall_cycles += cycle - self.policy_stall_since
         core = self.core
         if core is not None:
-            core._rebuild_fetch_candidates()
+            # Incremental candidate-list edit: the transition direction is
+            # known here, so a single C-level remove / tid-ordered insert
+            # replaces the full rebuild's per-thread filter pass.  The
+            # list stays exactly "policy-unstalled threads in tid order".
+            candidates = core._fetch_candidates
+            if stalled:
+                candidates.remove(self)
+            else:
+                tid = self.tid
+                pos = 0
+                for other in candidates:
+                    if other.tid > tid:
+                        break
+                    pos += 1
+                candidates.insert(pos, self)
+            core._fetch_wake = 0
 
     def oldest_owner(self) -> "DynInstr | None":
         if not self.ll_owners:

@@ -168,6 +168,7 @@ class FetchPolicy:
 FetchPolicy.can_dispatch._is_default_hook = True
 FetchPolicy.on_fetch._is_default_hook = True
 FetchPolicy.on_load_complete._is_default_hook = True
+FetchPolicy.on_resource_stall._is_default_hook = True
 # Marks the base eligibility rules: with these implementations the core
 # may cache "no thread can fetch before cycle X" (the fetch-wake latch),
 # because every eligibility change is either time-bound

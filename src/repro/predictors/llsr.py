@@ -104,6 +104,71 @@ class LLSR:
             self._on_measure(head_pc, distance)
         return distance
 
+    def commit_zeros(self, k: int) -> None:
+        """Advance by ``k`` consecutive non-long-latency commits at once.
+
+        Semantically identical to ``k`` calls of ``commit(False)`` —
+        every 1-bit that exits the head during the advance fires its
+        measurement, in order, with the same distance — but the common
+        cases collapse to O(1) counter arithmetic: while the register is
+        still filling, zero-bits land on slots that are pristine from
+        construction, and once the most recent 1 has left the live
+        window the ring contents are provably all zero, so the advance
+        is a head/total bump with no per-entry work.  The commit stage
+        uses this to coalesce retire bursts between long-latency loads
+        (see ``SMTCore._commit``).
+        """
+        length = self.length
+        filled = self._filled
+        if filled < length:
+            take = length - filled
+            if take > k:
+                take = k
+            self._filled = filled + take
+            self._total += take
+            k -= take
+            if not k:
+                return
+        total = self._total
+        last_one = self._last_one_total
+        if last_one + length <= total:
+            # No 1 left in the live window: zeros shift out, zeros shift
+            # in, and every slot already holds (0, -1).
+            self._total = total + k
+            self._head = (self._head + k) % length
+            return
+        # Per-step work is owed only while the window still holds a 1;
+        # once the most recent 1 has exited (after ``live`` steps) the
+        # remaining advance is the O(1) all-zero case again.
+        live = last_one + length - total
+        tail = k - live if k > live else 0
+        k -= tail
+        bits = self._bits
+        pcs = self._pcs
+        head = self._head
+        measured = self.measured
+        on_measure = self._on_measure
+        for _ in range(k):
+            total += 1
+            if bits[head]:
+                head_pc = pcs[head]
+                bits[head] = 0
+                pcs[head] = -1
+                distance = last_one - total + length
+                if distance < 0:
+                    distance = 0
+                measured.append((head_pc, distance))
+                if on_measure is not None:
+                    on_measure(head_pc, distance)
+            head += 1
+            if head == length:
+                head = 0
+        if tail:
+            head = (head + tail) % length
+            total += tail
+        self._head = head
+        self._total = total
+
     @property
     def occupancy(self) -> int:
         return self._filled

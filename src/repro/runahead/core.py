@@ -105,16 +105,18 @@ class RunaheadCore(SMTCore):
     def _invalidate(self, di: DynInstr) -> None:
         """Mark ``di``'s result bogus and release its dependents as INV."""
         di.inv = True
-        waiters = di.waiters
-        if waiters:
+        w0 = di.waiter0
+        if w0 is not None:
+            di.waiter0 = None
+            waiters = di.waiters
+            di.waiters = None
             ready_by_op = self._ready_by_op
-            for w in waiters:
+            for w in ((w0,) if waiters is None else (w0, *waiters)):
                 w.inv = True
                 w.pending -= 1
                 if (w.pending == 0 and not w.squashed and w.in_iq
                         and not w.issued):
                     heapq.heappush(ready_by_op[w.instr.op_i], (w.gseq, w))
-            di.waiters = None
 
     # ------------------------------------------------------------------ #
     # commit stage: normal commit, runahead entry, pseudo-retirement
@@ -248,7 +250,7 @@ class RunaheadCore(SMTCore):
         if self._ra[ts.tid].active and not di.inv:
             rename_map = ts.rename_map
             for src in di.instr.srcs:
-                prod = rename_map.get(src)
+                prod = rename_map[src]
                 if prod is not None and prod.inv and not prod.squashed:
                     di.inv = True
                     break
@@ -271,7 +273,7 @@ class RunaheadCore(SMTCore):
                 ts.iq_count -= 1
                 self.iq_used -= 1
             ts.icount -= 1
-        heapq.heappush(self._events, (cycle + 1, di.gseq, di))
+        self._schedule_completion(di, cycle + 1, cycle)
 
     def _complete(self, di: DynInstr, cycle: int) -> None:
         super()._complete(di, cycle)

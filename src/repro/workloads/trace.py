@@ -56,6 +56,7 @@ def _from_proto(proto: Instr, addr: int | None, taken: bool) -> Instr:
     ins.dest_fp = proto.dest_fp
     ins.op_i = proto.op_i
     ins.fp_queue = proto.fp_queue
+    ins.latency = proto.latency
     return ins
 
 

@@ -121,6 +121,20 @@ class TestCommands:
         assert "relative to ICOUNT" in out
 
 
+class TestPerfProfileCommand:
+    def test_profile_prints_top_frames(self, capsys):
+        assert main(["perf", "profile", "st_icount", "--quick",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cProfile: st_icount" in out
+        assert "_run_until" in out
+
+    def test_profile_unknown_scenario_fails_helpfully(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["perf", "profile", "definitely_not_a_scenario"])
+        assert "repro list scenarios" in str(exc.value)
+
+
 class TestJobsCommands:
     def test_jobs_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -79,7 +79,7 @@ class TestAccountingUnderFlush:
             core.step()
             if step % 201 == 0:
                 for ts in core.threads:
-                    for reg, prod in ts.rename_map.items():
+                    for reg, prod in enumerate(ts.rename_map):
                         if prod is not None and not prod.completed:
                             assert not prod.squashed, \
                                 "rename map references a squashed producer"

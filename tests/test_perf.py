@@ -164,6 +164,30 @@ class TestCompareTolerance:
         assert report.ok
 
 
+class TestProfileVerb:
+    def test_profile_scenario_miniature(self):
+        report = perf.profile_scenario("st_icount", top=5, quick=True)
+        assert report.total_calls > 0
+        assert report.total_time > 0
+        assert report.scenario.name == "st_icount"
+        text = perf.format_report(report)
+        assert "cProfile: st_icount" in text
+        assert "_run_until" in text       # the hot loop must show up
+        assert "repro perf compare" in text  # magnitude caveat stated
+
+    def test_unknown_scenario_raises_key_error(self):
+        import pytest
+        with pytest.raises(KeyError):
+            perf.profile_scenario("no_such_scenario", quick=True)
+
+    def test_bad_sort_and_top_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            perf.profile_scenario("st_icount", sort="ncalls", quick=True)
+        with pytest.raises(ValueError):
+            perf.profile_scenario("st_icount", top=0, quick=True)
+
+
 class TestHarnessSmoke:
     def test_time_scenario_miniature(self):
         sc = perf.Scenario("mini_2t", ("mcf", "swim"), "icount",

@@ -27,6 +27,7 @@ _ALL_SLOTS = DynInstr.__slots__
 #: Fields ``reinit`` may skip because pool eligibility guarantees their
 #: pristine value; everything else must be re-written on reuse.
 _POOL_INVARIANTS = {
+    "waiter0": None,
     "waiters": None,
     "old_map": None,
     "ll_parents": None,
@@ -36,6 +37,13 @@ _POOL_INVARIANTS = {
     "refs": 0,
     "in_detects": False,
 }
+
+#: Fields ``reinit`` also skips because the pipeline provably writes them
+#: before their first possible read in the record's new lifetime (see the
+#: ``DynInstr.reinit`` docstring): ``iq_is_fp`` at dispatch (reads gated
+#: on ``in_iq``), ``predicted_ll`` at fetch (reads gated on ``is_load``),
+#: ``level`` at execute (read only for completed loads).
+_WRITTEN_BEFORE_READ = frozenset({"iq_is_fp", "predicted_ll", "level"})
 
 
 def _instrs():
@@ -70,6 +78,8 @@ def test_reinit_equals_fresh_construction(old_instr, new_instr,
     used.reinit(new_instr, 1, 42, 43, fe_ready=44)
     fresh = DynInstr(new_instr, 1, 42, 43, fe_ready=44)
     for slot in _ALL_SLOTS:
+        if slot in _WRITTEN_BEFORE_READ:
+            continue
         assert getattr(used, slot) == getattr(fresh, slot), slot
 
 
@@ -100,7 +110,7 @@ def test_pool_entries_respect_recycle_invariants():
             assert all(di is not entry for entry in ts.window)
             assert all(di is not entry for entry in ts.fe_queue)
             assert all(di is not mapped
-                       for mapped in ts.rename_map.values())
+                       for mapped in ts.rename_map)
 
 
 def test_pooling_is_architecturally_invisible():
