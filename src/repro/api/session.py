@@ -96,7 +96,8 @@ class Session:
     def _build_core(self, spec: RunSpec):
         from repro.experiments.runner import build_core
         return build_core(spec.workload, spec.config, spec.policy,
-                          spec.seed, **dict(spec.policy_kwargs))
+                          spec.seed, backend=spec.backend,
+                          **dict(spec.policy_kwargs))
 
     def simulate(self, spec: RunSpec):
         """One fresh, uncached simulation; returns ``(stats, core)``.

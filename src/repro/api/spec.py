@@ -9,10 +9,14 @@ a ``RunSpec`` that exists names real benchmarks, a real policy, and
 only kwargs that policy accepts.
 
 Specs round-trip through JSON (:meth:`RunSpec.to_json` /
-:meth:`RunSpec.from_json`) under the ``repro.runspec/1`` schema, and
+:meth:`RunSpec.from_json`) under the ``repro.runspec/2`` schema
+(documents stamped ``repro.runspec/1`` — the layout before the engine
+``backend`` field existed — still load), and
 :meth:`RunSpec.content_hash` is byte-compatible with the
 :class:`repro.jobs.JobSpec` cache keys, so a reloaded spec resolves
-against results the jobs engine already persisted.
+against results the jobs engine already persisted.  The default
+``backend="object"`` serializes away entirely: its documents and
+content hashes are byte-identical to pre-backend ones.
 """
 
 from __future__ import annotations
@@ -34,10 +38,16 @@ from repro.jobs.spec import (
 )
 
 #: Stamped into every serialized spec; bump on any layout change.
-SPEC_SCHEMA = "repro.runspec/1"
+SPEC_SCHEMA = "repro.runspec/2"
 
-_DOC_FIELDS = frozenset({"schema", "workload", "policy", "policy_kwargs",
-                         "max_commits", "warmup", "seed", "config"})
+#: The pre-backend layout; still readable (``backend`` defaults to
+#: ``object``), never written.
+_SPEC_SCHEMA_V1 = "repro.runspec/1"
+
+_DOC_FIELDS_V1 = frozenset({"schema", "workload", "policy",
+                            "policy_kwargs", "max_commits", "warmup",
+                            "seed", "config"})
+_DOC_FIELDS = _DOC_FIELDS_V1 | {"backend"}
 
 
 class SpecError(ValueError):
@@ -110,7 +120,12 @@ class RunSpec:
     default, so equal experiments always compare — and hash — equal.
     ``seed=0`` selects the canonical per-benchmark trace streams that
     every published number uses; other seeds derive independent
-    deterministic instances of the same programs.
+    deterministic instances of the same programs.  ``backend`` names the
+    engine core that executes the run (``repro list backends``); the
+    engines are architecturally bit-identical, so the backend changes
+    wall time, never results — but a non-default backend is still part
+    of the spec's content identity (see
+    :func:`repro.jobs.spec.content_key`).
     """
 
     workload: tuple[str, ...]
@@ -120,6 +135,7 @@ class RunSpec:
     max_commits: int = 20_000
     warmup: int | None = None
     seed: int = 0
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         norm = object.__setattr__
@@ -168,6 +184,14 @@ class RunSpec:
             if value < minimum:
                 raise SpecError(
                     f"{name} must be >= {minimum}, got {value}")
+        if not isinstance(self.backend, str):
+            raise SpecError(
+                f"backend must be a string, got "
+                f"{type(self.backend).__name__}")
+        if self.backend not in registry.backends:
+            known = ", ".join(registry.backends.names())
+            raise SpecError(
+                f"unknown backend {self.backend!r}; known: {known}")
 
     # ------------------------------------------------------------------ #
     # identity
@@ -183,7 +207,8 @@ class RunSpec:
         serialized-and-reloaded spec hit the warm jobs cache."""
         return content_key(KIND_WORKLOAD, self.workload, self.config,
                            self.max_commits, self.warmup, self.policy,
-                           self.policy_kwargs, seed=self.seed)
+                           self.policy_kwargs, seed=self.seed,
+                           backend=self.backend)
 
     def to_job(self) -> JobSpec:
         """The executable :class:`~repro.jobs.JobSpec` for this spec."""
@@ -198,8 +223,14 @@ class RunSpec:
     # ------------------------------------------------------------------ #
 
     def to_doc(self) -> dict:
-        """The canonical JSON-serializable document for this spec."""
-        return {
+        """The canonical JSON-serializable document for this spec.
+
+        The default ``object`` backend is omitted (mirroring the
+        content-key payload), so default-backend documents are
+        byte-identical to the pre-backend ``repro.runspec/1`` layout
+        apart from the schema stamp.
+        """
+        doc = {
             "schema": SPEC_SCHEMA,
             "workload": list(self.workload),
             "policy": self.policy,
@@ -210,6 +241,9 @@ class RunSpec:
             "seed": self.seed,
             "config": config_to_dict(self.config),
         }
+        if self.backend != "object":
+            doc["backend"] = self.backend
+        return doc
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_doc(), indent=indent, sort_keys=True)
@@ -227,11 +261,16 @@ class RunSpec:
                 f"run spec must be a JSON object, got "
                 f"{type(doc).__name__}")
         found = doc.get("schema")
-        if found != SPEC_SCHEMA:
+        if found not in (SPEC_SCHEMA, _SPEC_SCHEMA_V1):
             raise SpecError(
                 f"unsupported run-spec schema {found!r} "
-                f"(this version reads {SPEC_SCHEMA!r})")
-        unknown = set(doc) - _DOC_FIELDS
+                f"(this version reads {SPEC_SCHEMA!r} and "
+                f"{_SPEC_SCHEMA_V1!r})")
+        # v1 predates the backend field; a v1 document carrying one is
+        # mis-stamped, not merely old, and is refused like any other
+        # unknown field.
+        allowed = _DOC_FIELDS if found == SPEC_SCHEMA else _DOC_FIELDS_V1
+        unknown = set(doc) - allowed
         if unknown:
             raise SpecError(
                 f"unknown run-spec field(s): {', '.join(sorted(unknown))}")
@@ -253,6 +292,7 @@ class RunSpec:
                 max_commits=doc["max_commits"],
                 warmup=doc.get("warmup"),
                 seed=doc.get("seed", 0),
+                backend=doc.get("backend", "object"),
             )
         except KeyError as exc:
             raise SpecError(f"run spec is missing {exc.args[0]!r}") from None
@@ -267,4 +307,7 @@ class RunSpec:
 
     def __str__(self) -> str:
         mix = "-".join(self.workload)
-        return f"{mix}:{self.policy}@{self.max_commits}"
+        base = f"{mix}:{self.policy}@{self.max_commits}"
+        if self.backend != "object":
+            base += f"+{self.backend}"
+        return base

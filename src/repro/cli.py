@@ -2,8 +2,8 @@
 
 Subcommands:
 
-* ``list``          — registered benchmarks, policies, and perf scenarios
-  (``repro list <kind>`` narrows to one registry)
+* ``list``          — registered benchmarks, policies, perf scenarios,
+  and engine backends (``repro list <kind>`` narrows to one registry)
 * ``run``           — execute a declarative run spec from a JSON file
   (see ``repro spec``) through the jobs engine
 * ``spec``          — author and inspect run specs: ``spec make`` writes
@@ -120,10 +120,20 @@ def _list_scenarios() -> None:
               f"{sc.commits} commits (quick {sc.quick_commits})")
 
 
+def _list_backends() -> None:
+    print("engine backends (RunSpec.backend / --backend):")
+    for name, cls in registry.backends.items():
+        doc = (cls.__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else cls.__name__
+        default = "  [default]" if name == "object" else ""
+        print(f"  {name:<10} {summary}{default}")
+
+
 _LIST_KINDS = {
     "benchmarks": _list_benchmarks,
     "policies": _list_policies,
     "scenarios": _list_scenarios,
+    "backends": _list_backends,
 }
 
 
@@ -139,7 +149,7 @@ def cmd_list(args) -> int:
                   f"{', '.join(sorted(_LIST_KINDS))} (or no argument "
                   f"for everything)", file=sys.stderr)
             return 2
-        # Every canonical kind has a bespoke table; a future fourth
+        # Every canonical kind has a bespoke table; a future fifth
         # registry kind gets added to both dicts.
         _LIST_KINDS[canonical]()
         return 0
@@ -148,6 +158,8 @@ def cmd_list(args) -> int:
     _list_policies()
     print()
     _list_scenarios()
+    print()
+    _list_backends()
     return 0
 
 
@@ -182,7 +194,8 @@ def _spec_from_args(args):
             policy=args.policy,
             max_commits=args.commits,
             warmup=args.warmup,
-            seed=args.seed)
+            seed=args.seed,
+            backend=args.backend)
     except SpecError as exc:
         raise SystemExit(f"repro spec: {exc}")
 
@@ -341,7 +354,12 @@ def _perf_suite(args):
 
     from repro import perf
 
+    if args.backend != "object" and args.backend not in registry.backends:
+        raise SystemExit(
+            f"perf: unknown backend {args.backend!r}; "
+            f"see `python -m repro list backends`")
     suite = perf.run_suite(repeats=args.repeat, quick=args.quick,
+                           backend=args.backend,
                            progress=None if args.json else print)
     return perf, suite, _json
 
@@ -365,7 +383,7 @@ def cmd_perf_run(args) -> int:
     else:
         print(_perf_table(suite))
         print(f"\ncalibration: {suite.calibration_s:.3f}s "
-              f"({'quick' if suite.quick else 'full'} mode)")
+              f"({perf.mode_name(suite.quick, suite.backend)} mode)")
     return 0
 
 
@@ -440,9 +458,14 @@ def cmd_perf_compare(args) -> int:
 def cmd_perf_profile(args) -> int:
     from repro import perf
 
+    if args.backend != "object" and args.backend not in registry.backends:
+        raise SystemExit(
+            f"perf profile: unknown backend {args.backend!r}; "
+            f"see `python -m repro list backends`")
     try:
         report = perf.profile_scenario(args.scenario, top=args.top,
-                                       sort=args.sort, quick=args.quick)
+                                       sort=args.sort, quick=args.quick,
+                                       backend=args.backend)
     except KeyError:
         raise SystemExit(
             f"perf profile: unknown scenario {args.scenario!r}; "
@@ -462,7 +485,7 @@ def cmd_perf_update(args) -> int:
         print(_json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(_perf_table(suite))
-        print(f"\nwrote {'quick' if suite.quick else 'full'} "
+        print(f"\nwrote {perf.mode_name(suite.quick, suite.backend)} "
               f"baseline: {path}")
     return 0
 
@@ -483,12 +506,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list",
                        help="registered benchmarks/policies/scenarios")
     p.add_argument("kind", nargs="?", default=None,
-                   help="benchmarks | policies | scenarios "
+                   help="benchmarks | policies | scenarios | backends "
                         "(default: everything)")
     p.set_defaults(fn=cmd_list)
 
     p = sub.add_parser("run", help="execute a run spec JSON file")
-    p.add_argument("spec", help="path to a repro.runspec/1 JSON file")
+    p.add_argument("spec", help="path to a repro.runspec/2 JSON file "
+                   "(v1 files still load)")
     p.add_argument("-j", "--jobs", type=int, default=None,
                    help="worker processes (default: REPRO_JOBS or 1)")
     p.add_argument("-v", "--verbose", action="store_true")
@@ -505,11 +529,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default: REPRO_WARMUP or 4000")
     s.add_argument("--seed", type=int, default=0,
                    help="trace-seed salt (0 = canonical streams)")
+    s.add_argument("--backend", default="object",
+                   help="engine core (see `repro list backends`; "
+                        "default: object)")
     s.add_argument("-o", "--output", help="write the JSON here")
     s.set_defaults(fn=cmd_spec_make)
     s = ssub.add_parser("show",
                         help="validate a spec file, print it + content hash")
-    s.add_argument("spec", help="path to a repro.runspec/1 JSON file")
+    s.add_argument("spec", help="path to a repro.runspec/2 JSON file")
     s.set_defaults(fn=cmd_spec_show)
 
     p = sub.add_parser("characterize", help="Table I / Figure 1")
@@ -570,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the schema-stamped JSON document")
         q.add_argument("-r", "--repeat", type=int, default=3,
                        help="timed repeats per scenario (min is reported)")
+        q.add_argument("--backend", default="object",
+                       help="engine core to time (see `repro list "
+                            "backends`; default: object)")
 
     q = psub.add_parser("run", help="time the canonical scenarios")
     _perf_common(q)
@@ -600,6 +630,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pstats sort key (default tottime)")
     q.add_argument("--quick", action="store_true",
                    help="reduced budgets (CI smoke mode)")
+    q.add_argument("--backend", default="object",
+                   help="engine core to profile (see `repro list "
+                        "backends`; default: object)")
     q.set_defaults(fn=cmd_perf_profile)
     return parser
 

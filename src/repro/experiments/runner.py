@@ -97,9 +97,23 @@ def _single_config(cfg: SMTConfig) -> SMTConfig:
     return single_thread_variant(cfg)
 
 
-def core_for(policy: FetchPolicy) -> type[SMTCore]:
-    """The core implementation a policy requires (see ``core_class``)."""
-    return policy.core_class or SMTCore
+def core_for(policy: FetchPolicy,
+             backend: str = "object") -> type[SMTCore]:
+    """The core class for one run: policy requirement, then backend.
+
+    A policy's ``core_class`` (e.g. runahead's specialized core) always
+    wins — those policies are only implemented on their own engine.  For
+    every other policy the named entry of the ``backends`` registry is
+    used; ``object`` (the default) short-circuits to :class:`SMTCore`
+    without touching the registry, so the common path stays
+    import-cycle-free and pays no lookup.
+    """
+    if policy.core_class is not None:
+        return policy.core_class
+    if backend == "object":
+        return SMTCore
+    from repro import registry      # lazy: registry sits above experiments
+    return registry.backends.get(backend)
 
 
 def run_single(name: str, cfg: SMTConfig, max_commits: int,
@@ -202,13 +216,13 @@ class WorkloadResult:
 
 def build_core(names: tuple[str, ...] | list[str], cfg: SMTConfig,
                policy: str = "icount", seed: int = 0,
-               **policy_kwargs) -> SMTCore:
+               backend: str = "object", **policy_kwargs) -> SMTCore:
     """Construct the simulation core for a workload.
 
     The single construction path: :func:`run_workload` (and through it
     the jobs executor) and :meth:`repro.api.Session.simulate` /
     ``iter_intervals`` all build here, so every entry point wires
-    traces, policy, and core class identically.
+    traces, policy, core class, and engine backend identically.
     """
     names = tuple(names)
     if len(names) != cfg.num_threads:
@@ -218,15 +232,17 @@ def build_core(names: tuple[str, ...] | list[str], cfg: SMTConfig,
     traces = [trace_for(name, cfg, slot=i, seed=seed)
               for i, name in enumerate(names)]
     pol = make_policy(policy, **policy_kwargs)
-    return core_for(pol)(cfg, traces, pol)
+    return core_for(pol, backend)(cfg, traces, pol)
 
 
 def run_workload(names: tuple[str, ...] | list[str], cfg: SMTConfig,
                  policy: str = "icount", max_commits: int = 20_000,
                  warmup: int | None = None, seed: int = 0,
+                 backend: str = "object",
                  **policy_kwargs) -> tuple[CoreStats, SMTCore]:
     """Simulate a multiprogram workload; returns (stats, core)."""
-    core = build_core(names, cfg, policy, seed, **policy_kwargs)
+    core = build_core(names, cfg, policy, seed, backend=backend,
+                      **policy_kwargs)
     stats = core.run(max_commits,
                      warmup=default_warmup() if warmup is None else warmup)
     return stats, core

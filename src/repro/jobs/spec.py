@@ -55,7 +55,8 @@ def canonical_kwargs(value: Any) -> Any:
 
 
 def content_key(kind: str, names, config: SMTConfig, max_commits: int,
-                warmup: int, policy: str, policy_kwargs, seed: int = 0) -> str:
+                warmup: int, policy: str, policy_kwargs, seed: int = 0,
+                backend: str = "object") -> str:
     """The stable hex content key over one simulation's field tree.
 
     The single hashing authority for the whole repo: :class:`JobSpec`
@@ -63,7 +64,13 @@ def content_key(kind: str, names, config: SMTConfig, max_commits: int,
     makes a spec serialized by the new API hit cache entries written by
     the old jobs path (and vice versa).  ``seed=0`` — the canonical
     per-benchmark trace seeds — is omitted from the payload so that keys
-    predating the seed field are unchanged.
+    predating the seed field are unchanged, and the default ``object``
+    engine backend is omitted the same way: every key minted before the
+    backend axis existed stays valid, and the warm store keeps hitting.
+    (A non-default backend *is* keyed, deliberately — the engines are
+    bit-identical by contract, but a result must still say which engine
+    produced it so an equivalence regression can never be masked by the
+    cache.)
     """
     payload = {
         "schema": SCHEMA_VERSION,
@@ -79,6 +86,8 @@ def content_key(kind: str, names, config: SMTConfig, max_commits: int,
     }
     if seed:
         payload["seed"] = seed
+    if backend != "object":
+        payload["backend"] = backend
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("ascii")).hexdigest()
 
@@ -101,11 +110,13 @@ class JobSpec:
     policy: str = "icount"
     policy_kwargs: tuple[tuple[str, Any], ...] = ()
     seed: int = 0                   # 0 = canonical per-benchmark seeds
+    backend: str = "object"         # engine core (see registry backends)
 
     @classmethod
     def workload(cls, names, config: SMTConfig, policy: str = "icount",
                  max_commits: int = 20_000, warmup: int | None = None,
-                 seed: int = 0, **policy_kwargs) -> "JobSpec":
+                 seed: int = 0, backend: str = "object",
+                 **policy_kwargs) -> "JobSpec":
         """A multiprogram run evaluated with STP/ANTT."""
         names = tuple(names)
         if len(names) != config.num_threads:
@@ -117,7 +128,7 @@ class JobSpec:
                    warmup=default_warmup() if warmup is None else warmup,
                    policy=policy,
                    policy_kwargs=tuple(sorted(policy_kwargs.items())),
-                   seed=seed)
+                   seed=seed, backend=backend)
 
     @classmethod
     def baseline(cls, name: str, config: SMTConfig, max_commits: int,
@@ -141,7 +152,8 @@ class JobSpec:
         return cls(kind=KIND_WORKLOAD, names=tuple(spec.workload),
                    config=spec.config, max_commits=spec.max_commits,
                    warmup=spec.warmup, policy=spec.policy,
-                   policy_kwargs=tuple(spec.policy_kwargs), seed=spec.seed)
+                   policy_kwargs=tuple(spec.policy_kwargs), seed=spec.seed,
+                   backend=spec.backend)
 
     def baseline_specs(self) -> tuple["JobSpec", ...]:
         """The per-program baseline jobs this workload job depends on.
@@ -149,7 +161,10 @@ class JobSpec:
         One spec per program *in workload order* (duplicates included, so
         the caller can zip them against per-thread commit counts).
         Baselines always use the environment-default warmup, matching
-        :func:`repro.experiments.runner.single_thread_baseline`.
+        :func:`repro.experiments.runner.single_thread_baseline`, and
+        always run on the default ``object`` engine — the backends are
+        bit-identical, so sharing one baseline across backends is both
+        sound and what keeps CPI_ST cached exactly once.
         """
         if self.kind != KIND_WORKLOAD:
             return ()
@@ -162,7 +177,8 @@ class JobSpec:
         """Stable hex content key (raises for unserializable kwargs)."""
         return content_key(self.kind, self.names, self.config,
                            self.max_commits, self.warmup, self.policy,
-                           self.policy_kwargs, seed=self.seed)
+                           self.policy_kwargs, seed=self.seed,
+                           backend=self.backend)
 
     def __str__(self) -> str:
         mix = "-".join(self.names)

@@ -16,6 +16,7 @@ from repro.perf.baselines import (
     baseline_path,
     compare,
     load_baseline,
+    mode_name,
     suite_to_doc,
     validate_doc,
     write_baseline,
@@ -60,6 +61,7 @@ __all__ = [
     "compare",
     "format_report",
     "load_baseline",
+    "mode_name",
     "profile_scenario",
     "run_scenario",
     "run_suite",

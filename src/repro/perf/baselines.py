@@ -48,7 +48,7 @@ def baseline_path(explicit: str | Path | None = None) -> Path:
 # --------------------------------------------------------------------- #
 
 def result_to_dict(r: BenchResult) -> dict:
-    return {
+    d = {
         "wall_s": round(r.wall_s, 6),
         "runs": [round(x, 6) for x in r.runs],
         "cycles": r.cycles,
@@ -58,6 +58,11 @@ def result_to_dict(r: BenchResult) -> dict:
         "threads": r.threads,
         "commits": r.commits,
     }
+    # The default engine serializes away (like RunSpec.backend), keeping
+    # object-backend baseline entries byte-identical to pre-backend ones.
+    if r.backend != "object":
+        d["backend"] = r.backend
+    return d
 
 
 def result_from_dict(name: str, d: dict, quick: bool) -> BenchResult:
@@ -66,17 +71,30 @@ def result_from_dict(name: str, d: dict, quick: bool) -> BenchResult:
         runs=[float(x) for x in d.get("runs", [d["wall_s"]])],
         cycles=int(d["cycles"]), instructions=int(d["instructions"]),
         quick=quick, policy=d.get("policy", ""),
-        threads=int(d.get("threads", 0)), commits=int(d.get("commits", 0)))
+        threads=int(d.get("threads", 0)), commits=int(d.get("commits", 0)),
+        backend=d.get("backend", "object"))
+
+
+def mode_name(quick: bool, backend: str = "object") -> str:
+    """The baseline ``modes`` key for one (quick, backend) combination.
+
+    The object engine keeps the historical bare ``full`` / ``quick``
+    keys; other backends get a ``-<backend>`` suffix (``full-soa``), so
+    one document can hold every combination side by side and old
+    baselines stay valid under the current schema.
+    """
+    mode = "quick" if quick else "full"
+    return mode if backend == "object" else f"{mode}-{backend}"
 
 
 def suite_to_doc(suite: SuiteResult) -> dict:
     """One harness pass as a standalone schema-stamped document.
 
-    The calibration score lives *per mode*: the two modes may be
-    refreshed on different machines, and each mode's scenario walls are
-    only meaningful against the calibration measured alongside them.
+    The calibration score lives *per mode*: the modes may be refreshed
+    on different machines, and each mode's scenario walls are only
+    meaningful against the calibration measured alongside them.
     """
-    mode = "quick" if suite.quick else "full"
+    mode = mode_name(suite.quick, suite.backend)
     return {
         "schema": SCHEMA,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -120,7 +138,8 @@ def validate_doc(doc: dict, where: str = "<doc>") -> None:
     if not isinstance(modes, dict) or not modes:
         raise BaselineError(f"{where}: missing 'modes' section")
     for mode, section in modes.items():
-        if mode not in ("full", "quick"):
+        base = mode.split("-", 1)[0]
+        if base not in ("full", "quick"):
             raise BaselineError(f"{where}: unknown mode {mode!r}")
         if not isinstance(section, dict):
             raise BaselineError(f"{where}: mode {mode!r} must be an object")
@@ -220,14 +239,17 @@ def compare(suite: SuiteResult, baseline: dict,
     silently comparing an empty section (which would report "ok" while
     gating nothing).
     """
-    mode = "quick" if suite.quick else "full"
+    mode = mode_name(suite.quick, suite.backend)
     section = baseline.get("modes", {}).get(mode)
     if section is None:
         have = ", ".join(sorted(baseline.get("modes", {}))) or "none"
+        flags = "".join(
+            (" --quick" if suite.quick else "",
+             f" --backend {suite.backend}"
+             if suite.backend != "object" else ""))
         raise BaselineError(
             f"baseline has no {mode!r} mode section (has: {have}); "
-            f"refresh it with `python -m repro perf update"
-            f"{' --quick' if mode == 'quick' else ''}`")
+            f"refresh it with `python -m repro perf update{flags}`")
     entries = section.get("scenarios", {})
     base_calib = float(section.get("calibration_s") or 0.0)
     calib_ratio = (suite.calibration_s / base_calib) if base_calib else 1.0

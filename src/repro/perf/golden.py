@@ -19,6 +19,16 @@ The regenerator refuses to overwrite a fixture whose ``schema`` stamp
 differs from :data:`GOLDEN_SCHEMA` (a mismatch means the checkout and
 the fixture disagree about what the numbers *mean*); pass ``--force``
 after verifying the schema change is intentional.
+
+The fixture is backend-independent: every selectable engine core must
+reproduce it bit for bit, so it is always *regenerated* with the default
+object engine and *checked* against any backend::
+
+    python -m repro.perf.golden --check --backend soa
+
+``--check`` simulates every cell and compares against the committed
+fixture without writing anything (exit 1 on any mismatch) — the CI leg
+that holds the SoA engine to the cycle-exactness contract.
 """
 
 from __future__ import annotations
@@ -73,9 +83,9 @@ def golden_matrix() -> tuple[Scenario, ...]:
     return base + runahead
 
 
-def snapshot_cell(sc: Scenario) -> dict:
+def snapshot_cell(sc: Scenario, backend: str = "object") -> dict:
     """Simulate one cell and capture every architecturally-visible count."""
-    stats, core = run_scenario(sc)
+    stats, core = run_scenario(sc, backend=backend)
     return {
         "workload": list(sc.workload),
         "policy": sc.policy,
@@ -107,11 +117,38 @@ def snapshot_cell(sc: Scenario) -> dict:
     }
 
 
-def collect_golden() -> dict:
+def collect_golden(backend: str = "object") -> dict:
     return {
         "schema": GOLDEN_SCHEMA,
-        "cells": {sc.name: snapshot_cell(sc) for sc in golden_matrix()},
+        "cells": {sc.name: snapshot_cell(sc, backend=backend)
+                  for sc in golden_matrix()},
     }
+
+
+def check_against_fixture(path: Path, backend: str = "object",
+                          progress=None) -> list[str]:
+    """Simulate every cell under ``backend``; return mismatched names.
+
+    The bit-exactness check behind ``--check``: each cell's fresh
+    snapshot must equal the committed fixture's, field for field.  Cells
+    absent from the fixture count as mismatches (a matrix/fixture drift
+    is a failure, not a skip).  Raises :class:`ValueError` for a missing
+    or wrong-schema fixture.
+    """
+    if not path.exists():
+        raise ValueError(f"no golden fixture at {path}")
+    check_fixture_schema(path)
+    fixture = json.loads(path.read_text())["cells"]
+    bad: list[str] = []
+    for sc in golden_matrix():
+        fresh = snapshot_cell(sc, backend=backend)
+        ok = fixture.get(sc.name) == fresh
+        if not ok:
+            bad.append(sc.name)
+        if progress is not None:
+            progress(f"[golden] {sc.name} ({backend}): "
+                     f"{'ok' if ok else 'MISMATCH'}")
+    return bad
 
 
 def check_fixture_schema(path: Path) -> None:
@@ -140,13 +177,44 @@ def check_fixture_schema(path: Path) -> None:
             f"change is intentional")
 
 
+def _default_fixture() -> Path:
+    return (Path(__file__).resolve().parents[3] / "tests" / "golden"
+            / "golden_stats.json")
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     force = "--force" in argv
-    argv = [a for a in argv if a != "--force"]
-    out = Path(argv[0]) if argv else (
-        Path(__file__).resolve().parents[3] / "tests" / "golden"
-        / "golden_stats.json")
+    check = "--check" in argv
+    argv = [a for a in argv if a not in ("--force", "--check")]
+    backend = "object"
+    if "--backend" in argv:
+        i = argv.index("--backend")
+        try:
+            backend = argv[i + 1]
+        except IndexError:
+            print("--backend requires a value", file=sys.stderr)
+            return 2
+        del argv[i:i + 2]
+    out = Path(argv[0]) if argv else _default_fixture()
+    if check:
+        try:
+            bad = check_against_fixture(out, backend=backend,
+                                        progress=print)
+        except ValueError as exc:
+            print(f"cannot check: {exc}", file=sys.stderr)
+            return 1
+        total = len(golden_matrix())
+        print(f"BAD: {len(bad)} of {total} cells ({backend} backend)"
+              + (f": {', '.join(bad)}" if bad else ""))
+        return 1 if bad else 0
+    if backend != "object":
+        # The fixture is the object engine's output by definition;
+        # regenerating it from another backend would make the contract
+        # circular.
+        print("regeneration always uses the object engine; use --check "
+              "to verify another backend", file=sys.stderr)
+        return 2
     if not force:
         try:
             check_fixture_schema(out)

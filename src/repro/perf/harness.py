@@ -34,6 +34,7 @@ class BenchResult:
     policy: str = ""
     threads: int = 0
     commits: int = 0
+    backend: str = "object"           # engine core that was timed
 
     @property
     def cycles_per_sec(self) -> float:
@@ -67,23 +68,25 @@ def calibrate(iters: int = _CALIBRATION_ITERS) -> float:
     return best
 
 
-def time_scenario(sc: Scenario, repeats: int = 3,
-                  quick: bool = False) -> BenchResult:
+def time_scenario(sc: Scenario, repeats: int = 3, quick: bool = False,
+                  backend: str = "object") -> BenchResult:
     """Prime once, then time ``repeats`` full simulations of ``sc``."""
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    stats, core = run_scenario(sc, quick=quick)  # priming run (untimed)
+    # priming run (untimed)
+    stats, core = run_scenario(sc, quick=quick, backend=backend)
     cycles = core.cycle
     instructions = sum(t.committed for t in stats.threads)
     runs: list[float] = []
     for _ in range(repeats):
         t0 = time.perf_counter()
-        run_scenario(sc, quick=quick)
+        run_scenario(sc, quick=quick, backend=backend)
         runs.append(time.perf_counter() - t0)
     return BenchResult(
         name=sc.name, wall_s=min(runs), runs=runs, cycles=cycles,
         instructions=instructions, quick=quick, policy=sc.policy,
-        threads=sc.num_threads, commits=sc.budget(quick))
+        threads=sc.num_threads, commits=sc.budget(quick),
+        backend=backend)
 
 
 @dataclass
@@ -93,6 +96,7 @@ class SuiteResult:
     results: list[BenchResult] = field(default_factory=list)
     calibration_s: float = 0.0
     quick: bool = False
+    backend: str = "object"
 
     def by_name(self) -> dict[str, BenchResult]:
         return {r.name: r for r in self.results}
@@ -100,14 +104,16 @@ class SuiteResult:
 
 def run_suite(scenarios: tuple[Scenario, ...] = CANONICAL_SCENARIOS,
               repeats: int = 3, quick: bool = False,
-              progress=None) -> SuiteResult:
+              backend: str = "object", progress=None) -> SuiteResult:
     """Time every scenario (min-of-``repeats``) plus the calibration spin."""
-    suite = SuiteResult(quick=quick, calibration_s=calibrate())
+    suite = SuiteResult(quick=quick, backend=backend,
+                        calibration_s=calibrate())
     for sc in scenarios:
         if progress is not None:
             progress(f"[perf] {sc.name}: {sc.num_threads}t {sc.policy} "
-                     f"x{sc.budget(quick)} commits ...")
-        result = time_scenario(sc, repeats=repeats, quick=quick)
+                     f"x{sc.budget(quick)} commits ({backend}) ...")
+        result = time_scenario(sc, repeats=repeats, quick=quick,
+                               backend=backend)
         suite.results.append(result)
         if progress is not None:
             progress(f"[perf]   {result.wall_s:.3f}s  "

@@ -32,11 +32,11 @@ class ProfileReport:
     """Parsed outcome of one profiled scenario run."""
 
     __slots__ = ("scenario", "quick", "sort", "top", "text",
-                 "total_calls", "total_time")
+                 "total_calls", "total_time", "backend")
 
     def __init__(self, scenario: Scenario, quick: bool, sort: str,
                  top: int, text: str, total_calls: int,
-                 total_time: float):
+                 total_time: float, backend: str = "object"):
         self.scenario = scenario
         self.quick = quick
         self.sort = sort
@@ -44,10 +44,12 @@ class ProfileReport:
         self.text = text
         self.total_calls = total_calls
         self.total_time = total_time
+        self.backend = backend
 
 
 def profile_scenario(name: str, top: int = 15, sort: str = "tottime",
-                     quick: bool = False) -> ProfileReport:
+                     quick: bool = False,
+                     backend: str = "object") -> ProfileReport:
     """Prime, then profile one canonical scenario; returns the report.
 
     Raises ``KeyError`` for an unknown scenario name (same lookup the
@@ -61,10 +63,11 @@ def profile_scenario(name: str, top: int = 15, sort: str = "tottime",
     if top < 1:
         raise ValueError("top must be at least 1")
     sc = scenario_by_name(name)
-    run_scenario(sc, quick=quick)        # priming run (unprofiled)
+    # priming run (unprofiled)
+    run_scenario(sc, quick=quick, backend=backend)
     profiler = cProfile.Profile()
     profiler.enable()
-    run_scenario(sc, quick=quick)
+    run_scenario(sc, quick=quick, backend=backend)
     profiler.disable()
     buf = io.StringIO()
     stats = pstats.Stats(profiler, stream=buf)
@@ -72,16 +75,18 @@ def profile_scenario(name: str, top: int = 15, sort: str = "tottime",
     return ProfileReport(
         scenario=sc, quick=quick, sort=sort, top=top,
         text=buf.getvalue(), total_calls=stats.total_calls,
-        total_time=stats.total_tt)
+        total_time=stats.total_tt, backend=backend)
 
 
 def format_report(report: ProfileReport) -> str:
     """The report as the CLI prints it."""
     sc = report.scenario
-    mode = "quick" if report.quick else "full"
+    mode = ("quick" if report.quick else "full") + " mode"
+    if report.backend != "object":
+        mode += f", {report.backend} backend"
     header = (
         f"cProfile: {sc.name} ({sc.num_threads}t {sc.policy}, "
-        f"{sc.budget(report.quick)} commits, {mode} mode)\n"
+        f"{sc.budget(report.quick)} commits, {mode})\n"
         f"total: {report.total_time:.3f}s profiled, "
         f"{report.total_calls} function calls "
         f"(cProfile inflates call-heavy frames ~3-4x; gate claimed wins "

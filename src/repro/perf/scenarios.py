@@ -48,17 +48,19 @@ class Scenario:
         return scaled_config(num_threads=self.num_threads,
                              scale=_CACHE_SCALE)
 
-    def to_runspec(self, quick: bool = False):
+    def to_runspec(self, quick: bool = False, backend: str = "object"):
         """This scenario as a declarative :class:`repro.api.RunSpec`.
 
         The spec pins the same (workload, policy, budget, warmup,
         config) coordinate; a scenario is just a *named* run spec with a
-        quick-mode budget attached.
+        quick-mode budget attached.  ``backend`` selects the engine core
+        — the architectural outcome is backend-independent by contract,
+        so a scenario stays one scenario however it is executed.
         """
         from repro.api import RunSpec    # lazy: api sits above perf
         return RunSpec(workload=self.workload, config=self.config(),
                        policy=self.policy, max_commits=self.budget(quick),
-                       warmup=self.warmup)
+                       warmup=self.warmup, backend=backend)
 
 
 #: The tracked suite.  ``smt2_mlp_stall`` is the canonical 2-thread
@@ -105,15 +107,16 @@ def scenario_by_name(name: str) -> Scenario:
     return registry.scenarios.get(name)
 
 
-def run_scenario(sc: Scenario, quick: bool = False):
+def run_scenario(sc: Scenario, quick: bool = False,
+                 backend: str = "object"):
     """Simulate one scenario; returns ``(stats, core)``.
 
     Deterministic: traces are seeded per benchmark name, the config is
-    env-independent, and the core is the one the policy requires.
-    Driven through :meth:`repro.api.Session.simulate`, so the perf
-    harness and golden matrix time/pin exactly what every other entry
-    point executes.
+    env-independent, and the core is the one the policy (first) and the
+    ``backend`` (second) require.  Driven through
+    :meth:`repro.api.Session.simulate`, so the perf harness and golden
+    matrix time/pin exactly what every other entry point executes.
     """
     from repro.api import Session    # lazy: api sits above perf
 
-    return Session().simulate(sc.to_runspec(quick))
+    return Session().simulate(sc.to_runspec(quick, backend=backend))

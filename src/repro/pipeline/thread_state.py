@@ -46,7 +46,7 @@ class ThreadState:
         "trace_get", "fe_append", "lll_predict", "pc_origin",
         "llsr_commit", "llsr_commit_zeros", "trace_static",
         "trace_body_len", "llsr_zeros",
-        "head_ready", "tid_bit",
+        "head_ready", "tid_bit", "trace_flags",
     )
 
     def __init__(self, tid: int, trace: "SyntheticTrace", cfg: SMTConfig):
@@ -158,6 +158,11 @@ class ThreadState:
         # ``get`` call for iteration-invariant slots.
         self.trace_static = getattr(trace, "_static", None)
         self.trace_body_len = getattr(trace, "body_len", 1)
+        #: Per-static-instruction ``flags`` templates parallel to
+        #: ``trace_static`` (see :func:`repro.pipeline.dyninstr.
+        #: instr_flags`); populated by the SoA engine, ``None`` on the
+        #: object engine.
+        self.trace_flags: list[int | None] | None = None
         # When not None, the commit cycle of every instruction is appended
         # here (used to evaluate single-threaded CPI at arbitrary
         # instruction counts, per the paper's Section 5 methodology).

@@ -127,6 +127,11 @@ class BinaryMLPFlushAtStallPolicy(LongLatencyAwarePolicy):
         ts.policy_data["episodes"].pop(di, None)
         super().on_load_complete(di, ts)
 
+    # Episode anchors and owner grants are both identity-keyed, so the
+    # SoA engine may skip the call for never-seen records (see
+    # repro.policies.base).
+    on_load_complete._identity_keyed_cleanup = True
+
     def on_resource_stall(self, cycle):
         for ts in self.core.threads:
             if not self._holds_meaningful_share(ts):

@@ -190,3 +190,13 @@ class LongLatencyAwarePolicy(FetchPolicy):
         """Flush ``ts`` past ``after_seq`` if anything newer was fetched."""
         if ts.fetch_index - 1 > after_seq:
             self.core.flush_thread(ts, after_seq)
+
+
+# Marks on_load_complete implementations that only *de-register* state
+# keyed by record identity (owner grants, episode anchors): for a record
+# the policy was never handed, the call is provably a no-op.  The SoA
+# engine uses this to skip both the call and the view materialization for
+# loads that never reached a policy hook; the object engine ignores it.
+# Like the default-hook markers above, the marker lives on the function
+# object, so any unmarked override is automatically excluded.
+LongLatencyAwarePolicy.on_load_complete._identity_keyed_cleanup = True

@@ -9,7 +9,7 @@ of them:
 
 * :func:`get` / :func:`names` / :func:`register` — uniform access by
   ``(kind, name)``, where ``kind`` is one of :data:`KINDS`.
-* ``repro list <kind>`` enumerates any of the three from the CLI.
+* ``repro list <kind>`` enumerates any kind from the CLI.
 * :mod:`repro.api` validates every :class:`~repro.api.RunSpec` field
   against these registries, so a spec that constructs is a spec that
   resolves.
@@ -146,22 +146,38 @@ def _load_scenarios(reg: Registry) -> None:
         reg._entries.setdefault(sc.name, sc)
 
 
-#: The three registries, by kind.  ``policies`` maps name -> policy class,
+def _load_backends(reg: Registry) -> None:
+    # ``object`` is the original DynInstr-object engine; ``soa`` is the
+    # struct-of-arrays rewrite of the same pipeline (bit-identical
+    # architectural outcome, different in-memory representation).  A
+    # policy's ``core_class`` (e.g. runahead) always takes precedence
+    # over the selected backend — see ``repro.experiments.runner``.
+    from repro.pipeline import SMTCore
+    from repro.pipeline.soa import SoACore
+    reg._entries.setdefault("object", SMTCore)
+    reg._entries.setdefault("soa", SoACore)
+
+
+#: The four registries, by kind.  ``policies`` maps name -> policy class,
 #: ``benchmarks`` maps name -> :class:`~repro.workloads.BenchmarkSpec`,
-#: ``scenarios`` maps name -> :class:`~repro.perf.Scenario`.
+#: ``scenarios`` maps name -> :class:`~repro.perf.Scenario`, and
+#: ``backends`` maps name -> engine core class
+#: (:class:`~repro.pipeline.SMTCore` subclasses).
 policies = Registry("policy", _load_policies)
 benchmarks = Registry("benchmark", _load_benchmarks)
 scenarios = Registry("scenario", _load_scenarios)
+backends = Registry("backend", _load_backends)
 
 KINDS: dict[str, Registry] = {
     "policies": policies,
     "benchmarks": benchmarks,
     "scenarios": scenarios,
+    "backends": backends,
 }
 
 #: Singular spellings accepted anywhere a kind is named (CLI included).
 _KIND_ALIASES = {"policy": "policies", "benchmark": "benchmarks",
-                 "scenario": "scenarios"}
+                 "scenario": "scenarios", "backend": "backends"}
 
 
 def canonical_kind(kind: str) -> str:
@@ -198,6 +214,7 @@ __all__ = [
     "KINDS",
     "Registry",
     "RegistryError",
+    "backends",
     "benchmarks",
     "canonical_kind",
     "get",

@@ -185,7 +185,7 @@ class TestSpecCommands:
 
         assert main(["spec", "show", str(path)]) == 0
         out = capsys.readouterr().out
-        assert "repro.runspec/1" in out
+        assert "repro.runspec/2" in out
         assert "mcf-twolf:mlp_flush@1500" in out
 
         assert main(["run", str(path)]) == 0
@@ -201,7 +201,7 @@ class TestSpecCommands:
         assert main(["spec", "make", "-w", "mcf,twolf",
                      "-c", "1500"]) == 0
         out = capsys.readouterr().out
-        assert '"schema": "repro.runspec/1"' in out
+        assert '"schema": "repro.runspec/2"' in out
 
     def test_spec_make_rejects_bad_policy(self):
         with pytest.raises(SystemExit):

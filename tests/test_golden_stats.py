@@ -7,6 +7,11 @@ must still reproduce its committed-cycle counts, IPC, flush counts, and
 stall counters bit-for-bit.  A diff here means a hot-loop "optimization"
 changed architectural behavior — that is a bug, not a baseline refresh,
 unless the change to the timing model was intentional and reviewed.
+
+Every cell runs under *both* selectable engine backends (``object`` and
+``soa``): one fixture is the cycle-exactness contract that licenses
+picking a backend per :class:`repro.api.RunSpec` without touching
+result semantics.
 """
 
 from __future__ import annotations
@@ -41,10 +46,11 @@ def test_fixture_covers_matrix():
         "regenerate with `python -m repro.perf.golden`")
 
 
+@pytest.mark.parametrize("backend", ("object", "soa"))
 @pytest.mark.parametrize("cell", sorted(_MATRIX), ids=str)
-def test_golden_cell(cell):
+def test_golden_cell(cell, backend):
     expected = _load_fixture()["cells"][cell]
-    actual = snapshot_cell(_MATRIX[cell])
+    actual = snapshot_cell(_MATRIX[cell], backend=backend)
     assert actual == expected, (
-        f"{cell}: architectural stats diverged from the pinned "
-        f"pre-optimization core")
+        f"{cell} ({backend} backend): architectural stats diverged "
+        f"from the pinned pre-optimization core")

@@ -145,3 +145,78 @@ def test_detect_queued_records_are_not_pooled():
     core = _run_small_core()
     pool = core._di_pool
     assert all(not di.in_detects for di in pool)
+
+
+# --------------------------------------------------------------------- #
+# SoA arena: the free list is the pool, slots are the records
+# --------------------------------------------------------------------- #
+
+def _soa_assert_free_list_pristine(core):
+    """The SoA analogue of the pool invariants, on the columns.
+
+    Every slot on the free list must carry exactly the state the alloc
+    fast path relies on without re-writing (see the ``soa`` module
+    docstring), and no live engine structure may still reference it.
+    """
+    from repro.pipeline.dyninstr import F_FREED
+
+    free = set(core._free)
+    assert free, "expected the engine to have recycled slots"
+    for s in free:
+        assert core._col_flags[s] & F_FREED, s
+        assert core._col_pending[s] == 0, s
+        assert core._col_refs[s] == 0, s
+        assert core._col_waiter0[s] == -1, s
+        assert core._col_waiters[s] is None, s
+        assert core._col_old_map[s] == -1, s
+        assert core._col_ll_parents[s] is None, s
+        assert core._col_fill_line[s] is None, s
+        assert core._col_views[s] is None, s
+    for ts in core.threads:
+        assert not free.intersection(ts.window)
+        assert not free.intersection(ts.fe_queue)
+        assert not free.intersection(
+            s for s in ts.rename_map if s >= 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20),
+       cycles=st.integers(min_value=150, max_value=600),
+       flush_points=st.lists(st.integers(min_value=1, max_value=80),
+                             max_size=3))
+def test_soa_free_slots_are_pristine(seed, cycles, flush_points):
+    """Random runs + flush injections leave only pristine free slots."""
+    import random
+
+    from repro.pipeline.soa import SoACore
+
+    rng = random.Random(seed)
+    cfg = SMTConfig(num_threads=2)
+    bodies = []
+    for tid in range(2):
+        body = []
+        for pc in range(rng.randint(4, 8)):
+            kind = rng.randrange(4)
+            if kind == 0:
+                body.append(alu(pc, dest=rng.randint(1, 31)))
+            elif kind == 1:
+                body.append(load(pc, addr=rng.randrange(1 << 12) * 8,
+                                 dest=rng.randint(1, 31)))
+            elif kind == 2:
+                body.append(store(pc, addr=rng.randrange(1 << 12) * 8))
+            else:
+                body.append(branch(pc, rng.random() < 0.5))
+        bodies.append(body)
+    traces = [StubTrace(body, base=(tid + 1) << 33)
+              for tid, body in enumerate(bodies)]
+    core = SoACore(cfg, traces, make_policy("mlp_flush"))
+    budget = iter(sorted(flush_points))
+    next_flush = next(budget, None)
+    for step in range(cycles):
+        core.step()
+        if next_flush is not None and step == next_flush:
+            ts = core.threads[rng.randrange(2)]
+            core.flush_thread(ts, max(ts.fetch_index - 1
+                                      - rng.randrange(20), 0))
+            next_flush = next(budget, None)
+    _soa_assert_free_list_pristine(core)

@@ -151,6 +151,91 @@ def test_array_rename_matches_dict_oracle(data):
     assert _stats_shape(real) == _stats_shape(oracle)
 
 
+def _soa_rename_shape(core):
+    """The SoA columns' rename state, in the object engine's shape.
+
+    The soa map holds slot numbers; project each mapped slot's columns
+    onto the same (reg, seq, gseq, retired, completed, squashed) tuple
+    ``_rename_shape`` builds from record attributes.  Reference counts
+    are *not* compared: the arena counts rename-current occupancy as a
+    reference (slot lifetime), the object engine does not (GC does).
+    """
+    from repro.pipeline.dyninstr import (
+        F_COMPLETED,
+        F_RETIRED,
+        F_SQUASHED,
+    )
+
+    shape = []
+    for ts in core.threads:
+        regs = []
+        for reg, slot in enumerate(ts.rename_map):
+            if slot < 0:
+                regs.append(None)
+            else:
+                fl = core._col_flags[slot]
+                regs.append((reg, core._col_seq[slot],
+                             core._col_gseq[slot],
+                             bool(fl & F_RETIRED),
+                             bool(fl & F_COMPLETED),
+                             bool(fl & F_SQUASHED)))
+        shape.append(regs)
+    return shape
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_soa_rename_columns_match_object_records(data):
+    """Object engine as the oracle for the SoA rename columns.
+
+    The same random programs and flush injections drive an
+    :class:`SMTCore` and a :class:`SoACore` in lockstep; at every
+    checkpoint the arena's slot-number map must project onto exactly
+    the object engine's record map (minus identity and refcounts), and
+    the architectural stats must agree cycle for cycle.
+    """
+    from repro.pipeline.soa import SoACore
+
+    draw = data.draw
+    num_threads = draw(st.sampled_from((1, 2, 4)))
+    programs = [_random_program(draw, draw(st.integers(6, 14)))
+                for _ in range(num_threads)]
+    obj = _build_core(programs, dict_oracle=False)
+    cfg = SMTConfig(num_threads=num_threads)
+    traces = [StubTrace(body, base=(tid + 1) << 33)
+              for tid, body in enumerate(programs)]
+    soa = SoACore(cfg, traces, make_policy("icount"))
+
+    def _obj_shape_no_refs():
+        return [[None if entry is None else entry[:6]
+                 for entry in regs]
+                for regs in _rename_shape(obj)]
+
+    segments = draw(st.lists(
+        st.tuples(st.integers(min_value=5, max_value=120),
+                  st.booleans(),
+                  st.integers(min_value=0, max_value=num_threads - 1),
+                  st.integers(min_value=0, max_value=40)),
+        min_size=2, max_size=8))
+    for cycles, do_flush, tid, rewind in segments:
+        for _ in range(cycles):
+            obj.step()
+            soa.step()
+        if do_flush:
+            ts_o = obj.threads[tid]
+            ts_s = soa.threads[tid]
+            assert ts_o.fetch_index == ts_s.fetch_index
+            after_seq = max(ts_o.fetch_index - 1 - rewind, 0)
+            obj.flush_thread(ts_o, after_seq)
+            soa.flush_thread(ts_s, after_seq)
+        assert obj.cycle == soa.cycle
+        assert _obj_shape_no_refs() == _soa_rename_shape(soa)
+        assert _stats_shape(obj) == _stats_shape(soa)
+
+    assert _obj_shape_no_refs() == _soa_rename_shape(soa)
+    assert _stats_shape(obj) == _stats_shape(soa)
+
+
 @settings(max_examples=25, deadline=None)
 @given(data=st.data())
 def test_rename_entries_are_youngest_unsquashed_writers(data):
