@@ -26,6 +26,8 @@ class BinaryMLPFlushPolicy(LongLatencyAwarePolicy):
     past long-latency loads following plain ICOUNT.
     """
 
+    __slots__ = ()
+
     name = "binary_mlp_flush"
 
     def on_ll_detect(self, di, ts):
@@ -45,6 +47,8 @@ class MLPDistanceFlushAtStallPolicy(LongLatencyAwarePolicy):
     load, freeing everything while the already-issued independent misses
     keep filling the caches (the refetch then hits: a prefetching effect).
     """
+
+    __slots__ = ()
 
     name = "mlp_flush_rs"
     reacts_to_resource_stall = True
@@ -104,6 +108,8 @@ class BinaryMLPFlushAtStallPolicy(LongLatencyAwarePolicy):
     more refetch overhead — than (d), which is the paper's explanation for
     (d) outperforming (e).
     """
+
+    __slots__ = ()
 
     name = "binary_mlp_flush_rs"
     reacts_to_resource_stall = True

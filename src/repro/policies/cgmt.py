@@ -40,6 +40,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class CGMTPolicy(LongLatencyAwarePolicy):
     """Switch-on-miss coarse-grained multithreading."""
 
+    __slots__ = ("switch_penalty", "flush_on_switch", "quantum", "active_tid",
+                 "switches", "_last_active", "_active_since")
+
     name = "cgmt"
 
     def __init__(self, switch_penalty: int = 30, flush_on_switch: bool = True,
@@ -90,7 +93,7 @@ class CGMTPolicy(LongLatencyAwarePolicy):
     # switching
     # ------------------------------------------------------------------ #
 
-    def _switch_from(self, ts: "ThreadState") -> None:
+    def _switch_from(self, ts: ThreadState) -> None:
         core = self.core
         threads = core.threads
         if len(threads) == 1:
@@ -115,7 +118,7 @@ class CGMTPolicy(LongLatencyAwarePolicy):
     def _quantum_expired(self) -> bool:
         return self.core.cycle - self._active_since >= self.quantum
 
-    def on_ll_detect(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_ll_detect(self, di: DynInstr, ts: ThreadState) -> None:
         if ts.tid != self.active_tid or ts.ll_owners:
             return
         ts.set_owner(di, di.seq, self.core.cycle)
@@ -123,7 +126,7 @@ class CGMTPolicy(LongLatencyAwarePolicy):
             self._flush_to(ts, di.seq)
         self._switch_from(ts)
 
-    def on_fetch(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_fetch(self, di: DynInstr, ts: ThreadState) -> None:
         if ts.tid == self.active_tid and self._quantum_expired():
             self._switch_from(ts)
 
@@ -131,9 +134,11 @@ class CGMTPolicy(LongLatencyAwarePolicy):
 class MLPAwareCGMTPolicy(CGMTPolicy):
     """CGMT that switches at the *last* long-latency load of a burst."""
 
+    __slots__ = ()
+
     name = "mlp_cgmt"
 
-    def on_ll_detect(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_ll_detect(self, di: DynInstr, ts: ThreadState) -> None:
         if ts.tid != self.active_tid or ts.ll_owners:
             return
         distance = ts.mlp_pred.predict(di.instr.pc)
@@ -145,7 +150,7 @@ class MLPAwareCGMTPolicy(CGMTPolicy):
                 self._flush_to(ts, end)
             self._switch_from(ts)
 
-    def on_fetch(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_fetch(self, di: DynInstr, ts: ThreadState) -> None:
         if ts.tid != self.active_tid:
             return
         # The MLP window just filled: all overlapping misses are in flight,

@@ -25,6 +25,8 @@ from repro.policies.base import FetchPolicy
 class DCRAPolicy(FetchPolicy):
     """Dynamically controlled resource allocation (Cazorla et al. 2004b)."""
 
+    __slots__ = ("slow_weight",)
+
     name = "dcra"
 
     def __init__(self, slow_weight: float = 2.0):

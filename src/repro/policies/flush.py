@@ -16,6 +16,8 @@ from repro.policies.base import LongLatencyAwarePolicy
 class FlushPolicy(LongLatencyAwarePolicy):
     """Flush past every detected long-latency load (T&B 2001, TM/next)."""
 
+    __slots__ = ()
+
     name = "flush"
 
     def on_ll_detect(self, di, ts):

@@ -12,4 +12,6 @@ from repro.policies.base import FetchPolicy
 class ICountPolicy(FetchPolicy):
     """ICOUNT 2.4 baseline: balance front-end occupancy, nothing else."""
 
+    __slots__ = ()
+
     name = "icount"

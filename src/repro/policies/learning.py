@@ -39,6 +39,11 @@ _METRICS = ("throughput", "hmean")
 class LearningPartitionPolicy(FetchPolicy):
     """Hill-climbing epoch-based resource partitioning."""
 
+    __slots__ = ("epoch_cycles", "step", "metric", "min_share", "shares",
+                 "epochs_run", "adopted", "_trial", "_trial_scores",
+                 "_base_shares", "_epoch_start_cycle",
+                 "_epoch_start_commits")
+
     name = "learning"
 
     def __init__(self, epoch_cycles: int = 2_000, step: float = 0.05,
@@ -136,7 +141,7 @@ class LearningPartitionPolicy(FetchPolicy):
     # enforcement
     # ------------------------------------------------------------------ #
 
-    def can_dispatch(self, ts: "ThreadState", di: "DynInstr") -> bool:
+    def can_dispatch(self, ts: ThreadState, di: DynInstr) -> bool:
         core = self.core
         if core.cycle - self._epoch_start_cycle >= self.epoch_cycles:
             self._advance_epoch()

@@ -32,6 +32,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class MLPAwareDCRAPolicy(DCRAPolicy):
     """DCRA whose slow-thread bonus tracks predicted MLP distance."""
 
+    __slots__ = ("ema_alpha", "_mlp_need")
+
     name = "mlp_dcra"
 
     def __init__(self, slow_weight: float = 2.0, ema_alpha: float = 0.25):
@@ -45,14 +47,14 @@ class MLPAwareDCRAPolicy(DCRAPolicy):
         super().attach(core)
         self._mlp_need = [0.0] * core.cfg.num_threads
 
-    def on_ll_detect(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_ll_detect(self, di: DynInstr, ts: ThreadState) -> None:
         distance = ts.mlp_pred.predict(di.instr.pc)
         need = distance / max(self.core.cfg.llsr_length - 1, 1)
         alpha = self.ema_alpha
         self._mlp_need[ts.tid] = (
             alpha * need + (1.0 - alpha) * self._mlp_need[ts.tid])
 
-    def _limits(self, ts: "ThreadState") -> tuple[float, ...]:
+    def _limits(self, ts: ThreadState) -> tuple[float, ...]:
         threads = self.core.threads
         bonus = self.slow_weight - 1.0
         weights = [

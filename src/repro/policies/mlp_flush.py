@@ -23,6 +23,8 @@ from repro.policies.base import LongLatencyAwarePolicy
 class MLPFlushPolicy(LongLatencyAwarePolicy):
     """Flush/stall at the predicted MLP distance (the paper's headline)."""
 
+    __slots__ = ()
+
     name = "mlp_flush"
 
     def on_ll_detect(self, di, ts):

@@ -15,6 +15,8 @@ from repro.policies.base import LongLatencyAwarePolicy
 class MLPStallPolicy(LongLatencyAwarePolicy):
     """Fetch-stall at the predicted MLP distance (the paper, §4.3)."""
 
+    __slots__ = ()
+
     name = "mlp_stall"
     on_fetch_loads_only = True  # on_fetch acts only on predicted-LL loads
 

@@ -39,6 +39,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class DataGatingPolicy(FetchPolicy):
     """DG: gate fetch while a thread has > ``threshold`` L1D misses out."""
 
+    __slots__ = ("threshold",)
+
     name = "dg"
 
     def __init__(self, threshold: int = 2):
@@ -47,7 +49,7 @@ class DataGatingPolicy(FetchPolicy):
             raise ValueError("threshold must be at least 1")
         self.threshold = threshold
 
-    def _gated(self, ts: "ThreadState") -> bool:
+    def _gated(self, ts: ThreadState) -> bool:
         return ts.outstanding_misses > self.threshold
 
     def fetch_order(self, cycle: int):
@@ -65,6 +67,8 @@ class DataGatingPolicy(FetchPolicy):
 
 class PredictiveDataGatingPolicy(FetchPolicy):
     """PDG: gate on the number of predicted-miss loads in flight."""
+
+    __slots__ = ("threshold", "_predictor_entries", "_miss_pred", "_inflight")
 
     name = "pdg"
     on_fetch_loads_only = True  # on_fetch tracks predicted-miss loads
@@ -86,7 +90,7 @@ class PredictiveDataGatingPolicy(FetchPolicy):
                            for _ in core.threads]
         self._inflight = [set() for _ in core.threads]
 
-    def _gated(self, ts: "ThreadState") -> bool:
+    def _gated(self, ts: ThreadState) -> bool:
         # Count without mutating: fetch_order must stay side-effect free.
         live = sum(1 for di in self._inflight[ts.tid]
                    if not di.squashed and not di.completed)
@@ -104,11 +108,11 @@ class PredictiveDataGatingPolicy(FetchPolicy):
         return any(core.fetchable(ts, cycle) and not self._gated(ts)
                    for ts in core.threads)
 
-    def on_fetch(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_fetch(self, di: DynInstr, ts: ThreadState) -> None:
         if di.is_load and self._miss_pred[ts.tid].predict(di.instr.pc):
             self._inflight[ts.tid].add(di)
 
-    def on_load_complete(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_load_complete(self, di: DynInstr, ts: ThreadState) -> None:
         if di.level is not None:
             self._miss_pred[ts.tid].train(
                 di.instr.pc, di.level is not ServiceLevel.L1)

@@ -16,6 +16,8 @@ from repro.policies.base import LongLatencyAwarePolicy
 class PredictiveStallPolicy(LongLatencyAwarePolicy):
     """Fetch-stall on front-end-predicted misses (Cazorla et al. 2004a)."""
 
+    __slots__ = ()
+
     name = "pred_stall"
     on_fetch_loads_only = True  # on_fetch acts only on predicted-LL loads
 

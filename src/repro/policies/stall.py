@@ -13,6 +13,8 @@ from repro.policies.base import LongLatencyAwarePolicy
 class StallPolicy(LongLatencyAwarePolicy):
     """Fetch-stall on every detected long-latency load (T&B 2001)."""
 
+    __slots__ = ()
+
     name = "stall"
 
     def on_ll_detect(self, di, ts):

@@ -14,6 +14,9 @@ from repro.policies.base import FetchPolicy
 class StaticPartitionPolicy(FetchPolicy):
     """Equal 1/n static split of every shared buffer resource."""
 
+    __slots__ = ("_rob_share", "_lsq_share", "_iq_share", "_fq_share",
+                 "_int_share", "_fp_share")
+
     name = "static"
 
     def attach(self, core):

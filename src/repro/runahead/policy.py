@@ -34,16 +34,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class RunaheadPolicy(FetchPolicy):
     """Unconditional runahead threads over ICOUNT fetch."""
 
+    __slots__ = ()
+
     name = "runahead"
     core_class = RunaheadCore
 
-    def enter_runahead(self, ts: "ThreadState", di: "DynInstr") -> bool:
+    def enter_runahead(self, ts: ThreadState, di: DynInstr) -> bool:
         """Any long-latency load blocking the ROB head enters runahead."""
         return True
 
 
 class MLPRunaheadPolicy(MLPFlushPolicy):
     """MLP-distance-gated runahead with MLP-aware flush fallback."""
+
+    __slots__ = ("runahead_threshold",)
 
     name = "mlp_runahead"
     core_class = RunaheadCore
@@ -54,7 +58,7 @@ class MLPRunaheadPolicy(MLPFlushPolicy):
             raise ValueError("runahead threshold must be at least 1")
         self.runahead_threshold = runahead_threshold
 
-    def on_ll_detect(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_ll_detect(self, di: DynInstr, ts: ThreadState) -> None:
         if self.core.in_runahead(ts):
             return  # runahead loads are prefetches, not new episodes
         if ts.ll_owners:
@@ -63,7 +67,7 @@ class MLPRunaheadPolicy(MLPFlushPolicy):
             return  # large distance: leave it to runahead entry
         super().on_ll_detect(di, ts)
 
-    def enter_runahead(self, ts: "ThreadState", di: "DynInstr") -> bool:
+    def enter_runahead(self, ts: ThreadState, di: DynInstr) -> bool:
         if ts.ll_owners:
             return False  # the flush path owns this episode
         return ts.mlp_pred.predict(di.instr.pc) >= self.runahead_threshold
