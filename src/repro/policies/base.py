@@ -33,6 +33,8 @@ _EMPTY_ORDER: tuple = ()
 class FetchPolicy:
     """Base class: plain ICOUNT with COT support for subclasses."""
 
+    __slots__ = ("core",)
+
     name = "icount"
     #: Set by subclasses that must observe every resource-stall cycle
     #: (disables fast-forwarding past dispatch-blocked cycles).
@@ -50,14 +52,14 @@ class FetchPolicy:
     def __init__(self) -> None:
         self.core: SMTCore | None = None
 
-    def attach(self, core: "SMTCore") -> None:
+    def attach(self, core: SMTCore) -> None:
         self.core = core
 
     # ------------------------------------------------------------------ #
     # fetch selection (ICOUNT order + COT)
     # ------------------------------------------------------------------ #
 
-    def fetch_order(self, cycle: int) -> list[tuple["ThreadState", bool]]:
+    def fetch_order(self, cycle: int) -> list[tuple[ThreadState, bool]]:
         """Threads allowed to fetch this cycle, best first.
 
         Returns ``(thread, ignore_stall)`` pairs; ``ignore_stall`` marks a
@@ -141,16 +143,16 @@ class FetchPolicy:
     # hooks
     # ------------------------------------------------------------------ #
 
-    def on_fetch(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_fetch(self, di: DynInstr, ts: ThreadState) -> None:
         """Called for every instruction the front end fetches."""
 
-    def on_ll_detect(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_ll_detect(self, di: DynInstr, ts: ThreadState) -> None:
         """Called when a load is *observed* to be long-latency (post-L3)."""
 
-    def on_load_complete(self, di: "DynInstr", ts: "ThreadState") -> None:
+    def on_load_complete(self, di: DynInstr, ts: ThreadState) -> None:
         """Called when any load's data arrives."""
 
-    def can_dispatch(self, ts: "ThreadState", di: "DynInstr") -> bool:
+    def can_dispatch(self, ts: ThreadState, di: DynInstr) -> bool:
         """Resource-partitioning hook; False blocks dispatch this cycle."""
         return True
 
@@ -167,6 +169,7 @@ class FetchPolicy:
 # is automatically unmarked).
 FetchPolicy.can_dispatch._is_default_hook = True
 FetchPolicy.on_fetch._is_default_hook = True
+FetchPolicy.on_ll_detect._is_default_hook = True
 FetchPolicy.on_load_complete._is_default_hook = True
 FetchPolicy.on_resource_stall._is_default_hook = True
 # Marks the base eligibility rules: with these implementations the core
@@ -183,10 +186,12 @@ FetchPolicy.fetch_pending._is_base_impl = True
 class LongLatencyAwarePolicy(FetchPolicy):
     """Shared helper for policies keyed on long-latency owner loads."""
 
-    def on_load_complete(self, di: "DynInstr", ts: "ThreadState") -> None:
+    __slots__ = ()
+
+    def on_load_complete(self, di: DynInstr, ts: ThreadState) -> None:
         ts.clear_owner(di, self.core.cycle)
 
-    def _flush_to(self, ts: "ThreadState", after_seq: int) -> None:
+    def _flush_to(self, ts: ThreadState, after_seq: int) -> None:
         """Flush ``ts`` past ``after_seq`` if anything newer was fetched."""
         if ts.fetch_index - 1 > after_seq:
             self.core.flush_thread(ts, after_seq)
