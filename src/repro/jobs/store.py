@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import asdict
 from pathlib import Path
 import tempfile
 from typing import Any
@@ -61,7 +62,7 @@ def _encode_stats(stats: CoreStats) -> dict[str, Any]:
         "cycles": stats.cycles,
         "resource_stall_cycles": stats.resource_stall_cycles,
         "ll_intervals": [list(iv) for iv in stats.ll_intervals],
-        "threads": [vars(t) for t in stats.threads],
+        "threads": [asdict(t) for t in stats.threads],
         "commit_cycle_trace": stats.commit_cycle_trace,
     }
 

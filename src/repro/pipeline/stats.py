@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from repro.memory.hierarchy import mlp_from_intervals
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadStats:
     """Counters for one hardware thread."""
 
@@ -45,7 +45,7 @@ class ThreadStats:
         return self.lll_pred_miss_correct / self.lll_pred_miss_actual
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Whole-core results of one simulation run."""
 

@@ -105,8 +105,7 @@ class TestResultStore:
         assert back.stp == result.stp and back.antt == result.antt
         assert back.st_cpis == result.st_cpis
         assert back.stats.cycles == result.stats.cycles
-        assert [vars(t) for t in back.stats.threads] \
-            == [vars(t) for t in result.stats.threads]
+        assert back.stats.threads == result.stats.threads
         assert back.stats.ll_intervals == result.stats.ll_intervals
 
     def test_baseline_roundtrip(self, tmp_path):
