@@ -19,14 +19,23 @@ progress reporting — so the specs themselves stay pure values:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Any
 
 from repro.api.spec import RunSpec
 from repro.jobs.executor import BatchReport, run_jobs
 from repro.jobs.store import ResultStore, default_store
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.runner import WorkloadResult
+    from repro.pipeline.core import SMTCore
+    from repro.pipeline.stats import CoreStats
+
 _UNSET = object()
+
+#: Progress callback: receives one-line status strings as jobs resolve.
+Progress = Callable[[str], None]
 
 
 @dataclass(frozen=True)
@@ -55,8 +64,9 @@ class Session:
     strings as jobs resolve.
     """
 
-    def __init__(self, *, workers: int | None = None, store=_UNSET,
-                 progress=None):
+    def __init__(self, *, workers: int | None = None,
+                 store: ResultStore | None | Any = _UNSET,
+                 progress: Progress | None = None):
         self.workers = workers
         self._store = store
         self.progress = progress
@@ -71,7 +81,8 @@ class Session:
     # cached, scored execution (the jobs engine)
     # ------------------------------------------------------------------ #
 
-    def run_many(self, specs, progress=None) -> list:
+    def run_many(self, specs: Sequence[RunSpec],
+                 progress: Progress | None = None) -> list[WorkloadResult]:
         """Execute specs as one deduplicated batch; results in order.
 
         Returns one :class:`~repro.experiments.runner.WorkloadResult`
@@ -85,7 +96,7 @@ class Session:
         self.last_report = batch.report
         return [batch[job] for job in jobs]
 
-    def run(self, spec: RunSpec):
+    def run(self, spec: RunSpec) -> WorkloadResult:
         """Execute one spec; returns its scored ``WorkloadResult``."""
         return self.run_many([spec])[0]
 
@@ -93,13 +104,13 @@ class Session:
     # raw, uncached execution (perf harness / golden matrix / streaming)
     # ------------------------------------------------------------------ #
 
-    def _build_core(self, spec: RunSpec):
+    def _build_core(self, spec: RunSpec) -> SMTCore:
         from repro.experiments.runner import build_core
         return build_core(spec.workload, spec.config, spec.policy,
                           spec.seed, backend=spec.backend,
                           **dict(spec.policy_kwargs))
 
-    def simulate(self, spec: RunSpec):
+    def simulate(self, spec: RunSpec) -> tuple[CoreStats, SMTCore]:
         """One fresh, uncached simulation; returns ``(stats, core)``.
 
         Exactly the construction the jobs executor and the perf

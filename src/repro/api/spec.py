@@ -21,10 +21,11 @@ content hashes are byte-identical to pre-backend ones.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, replace
 import inspect
 import json
-from typing import Any, Mapping
+from typing import Any
 
 from repro import registry
 from repro.config import SMTConfig, config_from_dict, config_to_dict
@@ -214,7 +215,7 @@ class RunSpec:
         """The executable :class:`~repro.jobs.JobSpec` for this spec."""
         return JobSpec.from_runspec(self)
 
-    def with_(self, **changes) -> "RunSpec":
+    def with_(self, **changes: Any) -> RunSpec:
         """A copy with ``changes`` applied (re-validated)."""
         return replace(self, **changes)
 
@@ -249,7 +250,7 @@ class RunSpec:
         return json.dumps(self.to_doc(), indent=indent, sort_keys=True)
 
     @classmethod
-    def from_doc(cls, doc: Mapping[str, Any]) -> "RunSpec":
+    def from_doc(cls, doc: Mapping[str, Any]) -> RunSpec:
         """Parse a document produced by :meth:`to_doc`.
 
         A missing or unexpected ``schema`` stamp is refused outright —
@@ -298,7 +299,7 @@ class RunSpec:
             raise SpecError(f"run spec is missing {exc.args[0]!r}") from None
 
     @classmethod
-    def from_json(cls, text: str) -> "RunSpec":
+    def from_json(cls, text: str) -> RunSpec:
         try:
             doc = json.loads(text)
         except ValueError as exc:

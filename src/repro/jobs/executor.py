@@ -20,10 +20,10 @@ comes from ``workers=`` or the ``REPRO_JOBS`` environment variable
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from multiprocessing import get_context
 import os
-from typing import Callable
 
 from repro.experiments.runner import (
     build_workload_result,

@@ -116,7 +116,7 @@ class JobSpec:
     def workload(cls, names, config: SMTConfig, policy: str = "icount",
                  max_commits: int = 20_000, warmup: int | None = None,
                  seed: int = 0, backend: str = "object",
-                 **policy_kwargs) -> "JobSpec":
+                 **policy_kwargs) -> JobSpec:
         """A multiprogram run evaluated with STP/ANTT."""
         names = tuple(names)
         if len(names) != config.num_threads:
@@ -132,7 +132,7 @@ class JobSpec:
 
     @classmethod
     def baseline(cls, name: str, config: SMTConfig, max_commits: int,
-                 warmup: int | None = None, seed: int = 0) -> "JobSpec":
+                 warmup: int | None = None, seed: int = 0) -> JobSpec:
         """The single-threaded ICOUNT run that supplies CPI_ST for ``name``."""
         return cls(kind=KIND_BASELINE, names=(name,),
                    config=single_thread_variant(config),
@@ -141,7 +141,7 @@ class JobSpec:
                    policy="icount", seed=seed)
 
     @classmethod
-    def from_runspec(cls, spec) -> "JobSpec":
+    def from_runspec(cls, spec) -> JobSpec:
         """Adapt a :class:`repro.api.RunSpec` into its workload job.
 
         ``JobSpec`` is the execution/cache-key shape of a declarative
@@ -155,7 +155,7 @@ class JobSpec:
                    policy_kwargs=tuple(spec.policy_kwargs), seed=spec.seed,
                    backend=spec.backend)
 
-    def baseline_specs(self) -> tuple["JobSpec", ...]:
+    def baseline_specs(self) -> tuple[JobSpec, ...]:
         """The per-program baseline jobs this workload job depends on.
 
         One spec per program *in workload order* (duplicates included, so

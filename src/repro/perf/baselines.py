@@ -121,7 +121,7 @@ def load_baseline(path: str | Path) -> dict:
     try:
         doc = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
-        raise BaselineError(f"baseline {path} is not valid JSON: {exc}")
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
     validate_doc(doc, where=str(path))
     return doc
 

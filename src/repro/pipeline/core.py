@@ -130,8 +130,8 @@ class SMTCore:
         "__dict__",
     )
 
-    def __init__(self, cfg: SMTConfig, traces: list["SyntheticTrace"],
-                 policy: "FetchPolicy",
+    def __init__(self, cfg: SMTConfig, traces: list[SyntheticTrace],
+                 policy: FetchPolicy,
                  hierarchy: MemoryHierarchy | None = None):
         if len(traces) != cfg.num_threads:
             raise ValueError(

@@ -248,7 +248,7 @@ class SoAView:
         return self._core._col_gseq[self._slot] == self._gseq
 
     @property
-    def waiter0(self) -> "SoAView | None":
+    def waiter0(self) -> SoAView | None:
         packed = self._core._col_waiter0[self._slot]
         if packed < 0:
             return None
@@ -259,7 +259,7 @@ class SoAView:
         return core.view(slot)
 
     @property
-    def waiters(self) -> "list[SoAView] | None":
+    def waiters(self) -> list[SoAView] | None:
         packed_list = self._core._col_waiters[self._slot]
         if packed_list is None:
             return None
@@ -269,12 +269,12 @@ class SoAView:
                 if gseq[p & SLOT_MASK] == p >> SLOT_SHIFT]
 
     @property
-    def old_map(self) -> "SoAView | None":
+    def old_map(self) -> SoAView | None:
         slot = self._core._col_old_map[self._slot]
         return None if slot < 0 else self._core.view(slot)
 
     @property
-    def ll_parents(self) -> "tuple[SoAView, ...] | None":
+    def ll_parents(self) -> tuple[SoAView, ...] | None:
         slots = self._core._col_ll_parents[self._slot]
         if slots is None:
             return None

@@ -114,8 +114,8 @@ class SoACore(SMTCore):
         "_col_pred_ll", "_col_fill_line", "_col_level", "_col_views",
     )
 
-    def __init__(self, cfg: "SMTConfig", traces: list["SyntheticTrace"],
-                 policy: "FetchPolicy",
+    def __init__(self, cfg: SMTConfig, traces: list[SyntheticTrace],
+                 policy: FetchPolicy,
                  hierarchy: MemoryHierarchy | None = None):
         super().__init__(cfg, traces, policy, hierarchy)
         # Object-record pooling is meaningless here (no records).

@@ -49,7 +49,7 @@ class ThreadState:
         "head_ready", "tid_bit", "trace_flags",
     )
 
-    def __init__(self, tid: int, trace: "SyntheticTrace", cfg: SMTConfig):
+    def __init__(self, tid: int, trace: SyntheticTrace, cfg: SMTConfig):
         self.tid = tid
         #: This thread's bit in the core's activity bitmasks
         #: (``_fe_mask`` / ``_heads_mask`` — see ``SMTCore``).
@@ -182,12 +182,12 @@ class ThreadState:
         return (self.allowed_end is not None
                 and self.fetch_index > self.allowed_end)
 
-    def set_owner(self, owner: "DynInstr", end: int, cycle: int) -> None:
+    def set_owner(self, owner: DynInstr, end: int, cycle: int) -> None:
         """Register a long-latency load restricting fetch to ``end``."""
         self.ll_owners[owner] = end
         self._recompute_allowed_end(cycle)
 
-    def clear_owner(self, owner: "DynInstr", cycle: int) -> None:
+    def clear_owner(self, owner: DynInstr, cycle: int) -> None:
         if owner in self.ll_owners:
             del self.ll_owners[owner]
             self._recompute_allowed_end(cycle)
@@ -241,7 +241,7 @@ class ThreadState:
                 candidates.insert(pos, self)
             core._fetch_wake = 0
 
-    def oldest_owner(self) -> "DynInstr | None":
+    def oldest_owner(self) -> DynInstr | None:
         if not self.ll_owners:
             return None
         return min(self.ll_owners, key=lambda di: di.seq)
