@@ -1,0 +1,52 @@
+"""Project-invariant static checkers (``repro lint``).
+
+The repo's performance and reproducibility story rests on structural
+invariants nothing in Python enforces: ``__dict__``-free hot classes,
+two engines with identical hook/stat surfaces, an elision table that
+matches the policy base class, deterministic engine code, and closed
+name registries.  Each checker here pins one of those invariants with a
+pure-AST analysis (registry-lint additionally loads the registries);
+``repro lint`` runs them all and exits non-zero on any finding.
+
+Checkers are registered under the ``checkers`` registry kind, so
+``repro list checkers`` enumerates them and out-of-tree checkers can be
+added at runtime with ``repro.registry.register("checker", ...)``.  A
+checker is any callable ``() -> list[Finding]``; see ``docs/ANALYSIS.md``
+for the catalog and for how to add one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.analysis import (determinism_lint, engine_parity, hook_elision,
+                            registry_lint, slots_lint)
+from repro.analysis.base import Finding
+
+#: Built-in checker name -> zero-argument callable returning findings.
+CHECKERS: dict[str, Callable[[], list[Finding]]] = {
+    slots_lint.CHECKER: slots_lint.check,
+    determinism_lint.CHECKER: determinism_lint.check,
+    engine_parity.CHECKER: engine_parity.check,
+    hook_elision.CHECKER: hook_elision.check,
+    registry_lint.CHECKER: registry_lint.check,
+}
+
+
+def run_checkers(names: Iterable[str] | None = None) -> list[Finding]:
+    """Run the named checkers (default: all registered) and merge findings.
+
+    Lookup goes through :data:`repro.registry` so runtime-registered
+    checkers run too; unknown names raise
+    :class:`~repro.registry.RegistryError`.
+    """
+    from repro import registry     # late: registry seeds itself from here
+    if names is None:
+        names = registry.checkers.names()
+    findings: list[Finding] = []
+    for name in names:
+        findings.extend(registry.checkers.get(name)())
+    return findings
+
+
+__all__ = ["CHECKERS", "Finding", "run_checkers"]

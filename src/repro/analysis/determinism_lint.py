@@ -1,0 +1,114 @@
+"""determinism-lint: no ambient entropy in engine or policy code.
+
+The jobs layer content-hashes a :class:`~repro.api.RunSpec` and reuses
+cached results forever, and the golden matrix pins simulations
+bit-for-bit — both collapse the moment an engine path consults the wall
+clock, module-level (unseeded) ``random``, or the iteration order of an
+unordered ``set``.  This checker flags the constructs inside the engine
+packages:
+
+* calls into :mod:`time` (``time.time`` and friends) and
+  ``datetime.now`` / ``datetime.utcnow``;
+* calls through the ``random`` *module* (a ``random.Random(seed)``
+  instance is fine — the violation is the process-global generator,
+  which is unseeded and shared);
+* ``for``-loops and comprehensions iterating directly over a ``set``
+  display, ``set``/``frozenset`` call, or set comprehension, unless
+  wrapped in ``sorted(...)`` — set order is salted per process, so any
+  event scheduling fed from one diverges across runs.
+
+Pure-AST analysis cannot prove a *named* set is iterated
+order-dependently (counting its elements is fine), so the iteration rule
+only fires on syntactically-evident set expressions; the allowlist
+below documents accepted instances should one ever be needed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.base import (Finding, dotted_name, package_files,
+                                 parse_file, rel)
+
+CHECKER = "determinism-lint"
+
+#: ``(path-suffix, line)`` pairs accepted after review; empty today.
+ALLOWED_SITES: frozenset[tuple[str, int]] = frozenset()
+
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "date.today", "datetime.date.today",
+}
+
+#: Names bound to the :mod:`random` module by a plain import; calling
+#: through them hits the unseeded process-global generator.
+_RANDOM_MODULE = "random"
+
+#: The one construction allowed through the module: a seeded instance.
+_RANDOM_CLASSES = {"Random", "SystemRandom"}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _check_tree(tree: ast.Module, path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    rpath = rel(path)
+
+    def flag(line: int, message: str) -> None:
+        if (rpath, line) not in ALLOWED_SITES:
+            findings.append(Finding(CHECKER, rpath, line, message))
+
+    random_names = {
+        alias.asname or alias.name
+        for node in ast.walk(tree) if isinstance(node, ast.Import)
+        for alias in node.names if alias.name == _RANDOM_MODULE}
+    random_names.add(_RANDOM_MODULE)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _CLOCK_CALLS:
+                flag(node.lineno,
+                     f"wall-clock call {name}() in engine code — "
+                     f"simulations must be pure functions of their spec")
+            elif (name is not None and "." in name
+                  and name.rsplit(".", 1)[0] in random_names
+                  and name.rsplit(".", 1)[1] not in _RANDOM_CLASSES):
+                flag(node.lineno,
+                     f"{name}() uses the unseeded process-global random "
+                     f"generator; construct a seeded random.Random "
+                     f"instead")
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter):
+                flag(node.lineno,
+                     "iteration over an unordered set in engine code — "
+                     "wrap in sorted(...) to pin the order")
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    flag(gen.iter.lineno,
+                         "comprehension over an unordered set in engine "
+                         "code — wrap in sorted(...) to pin the order")
+    return findings
+
+
+def check(files: Sequence[Path] | None = None) -> list[Finding]:
+    """Run determinism-lint over ``files`` (default: engine packages)."""
+    if files is None:
+        files = package_files()
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(_check_tree(parse_file(path), path))
+    return findings

@@ -1,0 +1,230 @@
+"""engine-parity-lint: the SoA engine mirrors the object engine.
+
+The struct-of-arrays backend (``soa.py``) re-implements the object
+engine's hot methods and must stay *architecturally identical* — the
+34-cell golden matrix pins the numbers, but only for the policies and
+stats it samples.  This checker pins the structural contract directly:
+
+1. **Hook parity** — the set of policy hooks the two files invoke
+   (``self.policy.on_X`` reads plus the ``_policy_*`` elision
+   attributes bound in ``SMTCore.__init__``) must be equal.  A hook
+   called by one engine and not the other means one backend silently
+   ignores a whole policy mechanism.
+2. **Stat parity** — the set of golden-relevant stat fields written by
+   the methods ``soa.py`` replaces must equal the set written anywhere
+   in ``soa.py``.  (Fields written only by *inherited* methods —
+   ``advance_to``'s cycle refresh, stall settlement — are shared code
+   and out of scope by construction.)  The replaced-method set is read
+   from the SoA class body itself: the ``NotImplementedError`` guard
+   stubs make it self-describing.
+3. **Column coverage** — every ``DynInstr`` ``__slots__`` entry must map
+   to a ``SoAView`` accessor: an explicit property, a ``_col_*`` column
+   property from the generation loop, or a packed flag bit.  A new
+   DynInstr field without a column is invisible to the SoA engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.base import (Finding, SRC_ROOT, dotted_name,
+                                 parse_file, rel, string_elements)
+
+CHECKER = "engine-parity-lint"
+
+_PIPELINE = SRC_ROOT / "repro" / "pipeline"
+
+#: The policy hook vocabulary (everything FetchPolicy exposes to cores).
+HOOKS = frozenset({
+    "fetch_order", "fetch_pending", "on_fetch", "on_ll_detect",
+    "on_load_complete", "can_dispatch", "on_resource_stall",
+})
+
+#: Elision attributes bound in ``SMTCore.__init__`` -> the hook each
+#: one stands for (reading the attribute *is* invoking the hook).
+POLICY_ATTR_HOOKS = {
+    "_policy_fetch_order": "fetch_order",
+    "_policy_fetch_pending": "fetch_pending",
+    "_policy_on_fetch": "on_fetch",
+    "_policy_on_fetch_load": "on_fetch",
+    "_policy_on_load_complete": "on_load_complete",
+    "_policy_can_dispatch": "can_dispatch",
+    "_policy_on_resource_stall": "on_resource_stall",
+}
+
+
+def _hooks_used(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            if node.attr in HOOKS:
+                used.add(node.attr)
+            elif node.attr in POLICY_ATTR_HOOKS:
+                used.add(POLICY_ATTR_HOOKS[node.attr])
+        elif isinstance(node, ast.Constant) and node.value in HOOKS:
+            # getattr(cls.on_X, ...) elision probes name hooks as strings
+            used.add(node.value)
+    return used
+
+
+def _stat_fields(stats_tree: ast.Module) -> set[str]:
+    """All dataclass field names of stats.py (the stat universe)."""
+    fields: set[str] = set()
+    for node in ast.walk(stats_tree):
+        if isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    fields.add(stmt.target.id)
+    return fields
+
+
+def _stat_writes(func: ast.AST, universe: set[str]) -> set[str]:
+    """Stat fields stored under ``func``, with local alias tracking.
+
+    Catches both direct ``<expr>.stats.X = ...`` stores and the hot-path
+    idiom ``st = ts.stats; st.X += 1`` (any local assigned from an
+    expression ending in ``.stats``).
+    """
+    aliases: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            tgt, val = node.targets[0], node.value
+            name = dotted_name(val)
+            if (isinstance(tgt, ast.Name) and name is not None
+                    and (name == "stats" or name.endswith(".stats"))):
+                aliases.add(tgt.id)
+
+    written: set[str] = set()
+    for node in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for tgt in targets:
+            if not isinstance(tgt, ast.Attribute) or tgt.attr not in universe:
+                continue
+            base = tgt.value
+            base_name = dotted_name(base)
+            if base_name is not None and (
+                    base_name in aliases or base_name == "stats"
+                    or base_name.endswith(".stats")):
+                written.add(tgt.attr)
+    return written
+
+
+def _methods(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Method name -> def node, over every class in the module."""
+    out: dict[str, ast.FunctionDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out[stmt.name] = stmt
+    return out
+
+
+def _soa_view_accessors(tree: ast.Module) -> set[str]:
+    """Every attribute name SoAView exposes (explicit + generated)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "SoAView":
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(stmt.name)
+                elif isinstance(stmt, ast.Assign):
+                    for tgt in stmt.targets:
+                        if isinstance(tgt, ast.Name):
+                            names.add(tgt.id)
+        elif isinstance(node, ast.For):
+            # for _name, _x in ((...), ...): setattr(SoAView, _name, ...)
+            is_view_loop = any(
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and dotted_name(stmt.value.func) == "setattr"
+                and stmt.value.args
+                and dotted_name(stmt.value.args[0]) == "SoAView"
+                for stmt in node.body)
+            if not is_view_loop or not isinstance(node.iter,
+                                                  (ast.Tuple, ast.List)):
+                continue
+            for elt in node.iter.elts:
+                if (isinstance(elt, (ast.Tuple, ast.List)) and elt.elts
+                        and isinstance(elt.elts[0], ast.Constant)
+                        and isinstance(elt.elts[0].value, str)):
+                    names.add(elt.elts[0].value)
+    return names
+
+
+def _dyninstr_slots(tree: ast.Module) -> list[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "DynInstr":
+            for stmt in node.body:
+                if (isinstance(stmt, ast.Assign)
+                        and any(isinstance(t, ast.Name)
+                                and t.id == "__slots__"
+                                for t in stmt.targets)):
+                    return string_elements(stmt.value) or []
+    return []
+
+
+def check(core_path: Path | None = None,
+          soa_path: Path | None = None,
+          dyninstr_path: Path | None = None,
+          stats_path: Path | None = None) -> list[Finding]:
+    """Run engine-parity-lint (default: the real pipeline modules)."""
+    core_path = core_path or _PIPELINE / "core.py"
+    soa_path = soa_path or _PIPELINE / "soa.py"
+    dyninstr_path = dyninstr_path or _PIPELINE / "dyninstr.py"
+    stats_path = stats_path or _PIPELINE / "stats.py"
+    core_tree = parse_file(core_path)
+    soa_tree = parse_file(soa_path)
+    findings: list[Finding] = []
+
+    # 1. hook parity
+    core_hooks = _hooks_used(core_tree)
+    soa_hooks = _hooks_used(soa_tree)
+    for hook in sorted(core_hooks - soa_hooks):
+        findings.append(Finding(
+            CHECKER, rel(soa_path), 1,
+            f"policy hook {hook!r} is invoked by {rel(core_path)} but "
+            f"never by the SoA engine"))
+    for hook in sorted(soa_hooks - core_hooks):
+        findings.append(Finding(
+            CHECKER, rel(core_path), 1,
+            f"policy hook {hook!r} is invoked by {rel(soa_path)} but "
+            f"never by the object engine"))
+
+    # 2. stat-write parity over the replaced methods
+    universe = _stat_fields(parse_file(stats_path))
+    core_methods = _methods(core_tree)
+    replaced = set(_methods(soa_tree))
+    required: set[str] = set()
+    for name in replaced & set(core_methods):
+        required |= _stat_writes(core_methods[name], universe)
+    actual: set[str] = set()
+    for func in _methods(soa_tree).values():
+        actual |= _stat_writes(func, universe)
+    for fld in sorted(required - actual):
+        findings.append(Finding(
+            CHECKER, rel(soa_path), 1,
+            f"stat field {fld!r} is written by an object-engine method "
+            f"the SoA engine replaces, but never by the SoA engine"))
+    for fld in sorted(actual - required):
+        findings.append(Finding(
+            CHECKER, rel(core_path), 1,
+            f"stat field {fld!r} is written by the SoA engine but not "
+            f"by the object-engine methods it replaces"))
+
+    # 3. DynInstr slot -> SoAView accessor coverage
+    dyn_tree = parse_file(dyninstr_path)
+    accessors = _soa_view_accessors(dyn_tree)
+    for slot in _dyninstr_slots(dyn_tree):
+        if slot not in accessors:
+            findings.append(Finding(
+                CHECKER, rel(dyninstr_path), 1,
+                f"DynInstr slot {slot!r} has no SoAView accessor "
+                f"(column property, flag bit, or explicit property)"))
+    return findings

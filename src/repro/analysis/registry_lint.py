@@ -1,0 +1,173 @@
+"""registry-lint: the name registries are closed, unique, documented.
+
+Three properties keep the registry layer trustworthy:
+
+1. **Reachability** — every ``register(...)`` / loader-``setdefault``
+   call site in the source tree must live in a module reachable from
+   :mod:`repro.registry`'s imports (including the lazy loader imports).
+   Registrations are per-process (see the registry module docstring);
+   an entry registered from a module nothing imports exists in some
+   processes and not in the jobs workers, which corrupts content-hashed
+   cache keys that embed only the *name*.
+2. **Uniqueness** — the built-in tables are built with dict
+   comprehensions and ``setdefault``, both of which *silently collapse*
+   duplicate names.  The checker compares the static entry count of the
+   ``POLICIES`` comprehension and ``CANONICAL_SCENARIOS`` list against
+   the loaded registry sizes.
+3. **Documentation** — every registered name of every kind must appear
+   backticked in ``docs/API.md`` (the names *are* the public API: specs,
+   CLI flags and cache keys all speak them).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.base import (Finding, SRC_ROOT, dotted_name,
+                                 parse_file, rel)
+
+CHECKER = "registry-lint"
+
+_DOC = SRC_ROOT.parent / "docs" / "API.md"
+_ROOT_MODULE = "repro.registry"
+
+
+def _module_name(path: Path, root: Path) -> str:
+    relp = path.relative_to(root).with_suffix("")
+    parts = list(relp.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _module_path(mod: str, root: Path) -> Path | None:
+    base = root.joinpath(*mod.split("."))
+    for cand in (base.with_suffix(".py"), base / "__init__.py"):
+        if cand.is_file():
+            return cand
+    return None
+
+
+def _imported_modules(tree: ast.Module) -> set[str]:
+    """Every module name importable from ``tree`` (function-level too)."""
+    mods: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mods.add(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            mods.add(node.module)
+            for alias in node.names:
+                # ``from pkg import sub`` may name a submodule
+                mods.add(f"{node.module}.{alias.name}")
+    return mods
+
+
+def _import_closure(root_mod: str, root: Path) -> set[str]:
+    closure: set[str] = set()
+    stack = [root_mod]
+    while stack:
+        mod = stack.pop()
+        if mod in closure:
+            continue
+        path = _module_path(mod, root)
+        if path is None:
+            continue
+        closure.add(mod)
+        # importing pkg.sub imports pkg (and its __init__ imports)
+        parts = mod.split(".")
+        stack.extend(".".join(parts[:i]) for i in range(1, len(parts)))
+        stack.extend(m for m in _imported_modules(parse_file(path))
+                     if m.split(".")[0] == parts[0])
+    return closure
+
+
+def _register_sites(tree: ast.Module) -> list[int]:
+    """Lines of register()/loader-setdefault call sites in one module."""
+    lines: list[int] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        last = name.split(".")[-1]
+        if last == "register" or (last == "setdefault"
+                                  and "_entries" in name):
+            lines.append(node.lineno)
+    return lines
+
+
+def _static_policy_count(root: Path) -> int | None:
+    path = _module_path("repro.policies", root)
+    if path is None:
+        return None
+    for node in ast.walk(parse_file(path)):
+        target = None
+        if isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        else:
+            continue
+        if (isinstance(target, ast.Name) and target.id == "POLICIES"
+                and isinstance(value, ast.DictComp)
+                and isinstance(value.generators[0].iter,
+                               (ast.Tuple, ast.List))):
+            return len(value.generators[0].iter.elts)
+    return None
+
+
+def check(doc_path: Path | None = None,
+          src_root: Path | None = None) -> list[Finding]:
+    """Run registry-lint (default: the installed tree + docs/API.md)."""
+    doc_path = doc_path or _DOC
+    src_root = src_root or SRC_ROOT
+    findings: list[Finding] = []
+
+    from repro import registry
+
+    # 1. reachability of registration call sites
+    closure = _import_closure(_ROOT_MODULE, src_root)
+    for path in sorted((src_root / "repro").rglob("*.py")):
+        mod = _module_name(path, src_root)
+        if mod in closure:
+            continue
+        for line in _register_sites(parse_file(path)):
+            findings.append(Finding(
+                CHECKER, rel(path), line,
+                f"registration call in {mod}, which is not reachable "
+                f"from {_ROOT_MODULE} imports — the entry would exist "
+                f"in some processes and not in jobs workers"))
+
+    # 2. silent-collapse uniqueness checks
+    static_n = _static_policy_count(src_root)
+    if static_n is not None and static_n != len(registry.policies):
+        findings.append(Finding(
+            CHECKER, "src/repro/policies/__init__.py", 1,
+            f"POLICIES lists {static_n} classes but only "
+            f"{len(registry.policies)} distinct names registered — "
+            f"two classes share a name"))
+    try:
+        from repro.perf.scenarios import CANONICAL_SCENARIOS
+    except ImportError:
+        pass
+    else:
+        if len({sc.name for sc in CANONICAL_SCENARIOS}) != len(
+                CANONICAL_SCENARIOS):
+            findings.append(Finding(
+                CHECKER, "src/repro/perf/scenarios.py", 1,
+                "CANONICAL_SCENARIOS contains duplicate scenario names"))
+
+    # 3. every registered name is documented (backticked) in API.md
+    doc_text = doc_path.read_text(encoding="utf-8") if doc_path.exists() \
+        else ""
+    for _kind, reg in sorted(registry.KINDS.items()):
+        for name in reg.names():
+            if f"`{name}`" not in doc_text:
+                findings.append(Finding(
+                    CHECKER, rel(doc_path), 1,
+                    f"registered {reg.kind} name {name!r} is not "
+                    f"documented (backticked) in {rel(doc_path)}"))
+    return findings

@@ -129,11 +129,22 @@ def _list_backends() -> None:
         print(f"  {name:<10} {summary}{default}")
 
 
+def _list_checkers() -> None:
+    import importlib
+
+    print("static-analysis checkers (repro lint):")
+    for name, fn in registry.checkers.items():
+        mod = importlib.import_module(fn.__module__)
+        summary = (mod.__doc__ or name).strip().splitlines()[0]
+        print(f"  {name:<20} {summary}")
+
+
 _LIST_KINDS = {
     "benchmarks": _list_benchmarks,
     "policies": _list_policies,
     "scenarios": _list_scenarios,
     "backends": _list_backends,
+    "checkers": _list_checkers,
 }
 
 
@@ -149,8 +160,8 @@ def cmd_list(args) -> int:
                   f"{', '.join(sorted(_LIST_KINDS))} (or no argument "
                   f"for everything)", file=sys.stderr)
             return 2
-        # Every canonical kind has a bespoke table; a future fifth
-        # registry kind gets added to both dicts.
+        # Every canonical kind has a bespoke table; a future registry
+        # kind gets added to both dicts.
         _LIST_KINDS[canonical]()
         return 0
     _list_benchmarks()
@@ -160,7 +171,34 @@ def cmd_list(args) -> int:
     _list_scenarios()
     print()
     _list_backends()
+    print()
+    _list_checkers()
     return 0
+
+
+def cmd_lint(args) -> int:
+    import json as _json
+    import sys
+
+    from repro.analysis import run_checkers
+
+    try:
+        findings = run_checkers(args.checker or None)
+    except registry.RegistryError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f)
+        names = args.checker or registry.checkers.names()
+        status = "clean" if not findings else \
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+        n = len(tuple(names))
+        print(f"repro lint: {status} ({n} checker{'s' if n != 1 else ''})",
+              file=sys.stderr)
+    return 1 if findings else 0
 
 
 def cmd_run(args) -> int:
@@ -170,9 +208,9 @@ def cmd_run(args) -> int:
     try:
         spec = RunSpec.from_json(path.read_text())
     except OSError as exc:
-        raise SystemExit(f"repro run: cannot read {path}: {exc}")
+        raise SystemExit(f"repro run: cannot read {path}: {exc}") from exc
     except SpecError as exc:
-        raise SystemExit(f"repro run: {path}: {exc}")
+        raise SystemExit(f"repro run: {path}: {exc}") from exc
     session = Session(workers=args.jobs,
                       progress=print if args.verbose else None)
     result = session.run(spec)
@@ -197,7 +235,7 @@ def _spec_from_args(args):
             seed=args.seed,
             backend=args.backend)
     except SpecError as exc:
-        raise SystemExit(f"repro spec: {exc}")
+        raise SystemExit(f"repro spec: {exc}") from exc
 
 
 def cmd_spec_make(args) -> int:
@@ -219,9 +257,9 @@ def cmd_spec_show(args) -> int:
     try:
         spec = RunSpec.from_json(path.read_text())
     except OSError as exc:
-        raise SystemExit(f"repro spec show: cannot read {path}: {exc}")
+        raise SystemExit(f"repro spec show: cannot read {path}: {exc}") from exc
     except SpecError as exc:
-        raise SystemExit(f"repro spec show: {path}: {exc}")
+        raise SystemExit(f"repro spec show: {path}: {exc}") from exc
     print(spec.to_json())
     print(f"\nspec:    {spec}")
     print(f"threads: {spec.num_threads}")
@@ -392,7 +430,7 @@ def cmd_perf_compare(args) -> int:
     try:
         baseline = perf.load_baseline(perf.baseline_path(args.baseline))
     except perf.BaselineError as exc:
-        raise SystemExit(f"perf compare: {exc}")
+        raise SystemExit(f"perf compare: {exc}") from exc
     max_regression = (perf.DEFAULT_MAX_REGRESSION
                       if args.max_regression is None
                       else args.max_regression)
@@ -400,7 +438,7 @@ def cmd_perf_compare(args) -> int:
         report = perf.compare(suite, baseline,
                               max_regression=max_regression)
     except perf.BaselineError as exc:
-        raise SystemExit(f"perf compare: {exc}")
+        raise SystemExit(f"perf compare: {exc}") from exc
     if args.json:
         doc = perf.suite_to_doc(suite)
         # Calibration-normalized throughput (simulated kilocycles per
@@ -469,9 +507,9 @@ def cmd_perf_profile(args) -> int:
     except KeyError:
         raise SystemExit(
             f"perf profile: unknown scenario {args.scenario!r}; "
-            f"see `python -m repro list scenarios`")
+            f"see `python -m repro list scenarios`") from None
     except ValueError as exc:
-        raise SystemExit(f"perf profile: {exc}")
+        raise SystemExit(f"perf profile: {exc}") from exc
     print(perf.format_report(report), end="")
     return 0
 
@@ -507,8 +545,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="registered benchmarks/policies/scenarios")
     p.add_argument("kind", nargs="?", default=None,
                    help="benchmarks | policies | scenarios | backends "
-                        "(default: everything)")
+                        "| checkers (default: everything)")
     p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser(
+        "lint", help="run the project-invariant static checkers")
+    p.add_argument("--checker", action="append", metavar="NAME",
+                   help="run only this checker (repeatable; "
+                        "see `repro list checkers`)")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as a JSON array")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("run", help="execute a run spec JSON file")
     p.add_argument("spec", help="path to a repro.runspec/2 JSON file "

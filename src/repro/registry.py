@@ -1,4 +1,5 @@
-"""One uniform name table for policies, benchmarks, and perf scenarios.
+"""One uniform name table for policies, benchmarks, scenarios, backends
+and static-analysis checkers.
 
 The paper's evaluation grid is indexed by names three ways — fetch-policy
 names (``repro.policies.POLICIES``), benchmark-analog names
@@ -31,7 +32,8 @@ pattern) — or run runtime-registered entries with ``workers=1``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
 
 
 class RegistryError(KeyError):
@@ -45,7 +47,7 @@ class Registry:
     """A named table of one kind of object, lazily seeded with built-ins."""
 
     def __init__(self, kind: str,
-                 loader: Callable[["Registry"], None] | None = None):
+                 loader: Callable[[Registry], None] | None = None):
         self.kind = kind
         self._entries: dict[str, Any] = {}
         self._loader = loader
@@ -146,6 +148,12 @@ def _load_scenarios(reg: Registry) -> None:
         reg._entries.setdefault(sc.name, sc)
 
 
+def _load_checkers(reg: Registry) -> None:
+    from repro.analysis import CHECKERS
+    for name, fn in CHECKERS.items():
+        reg._entries.setdefault(name, fn)
+
+
 def _load_backends(reg: Registry) -> None:
     # ``object`` is the original DynInstr-object engine; ``soa`` is the
     # struct-of-arrays rewrite of the same pipeline (bit-identical
@@ -158,26 +166,30 @@ def _load_backends(reg: Registry) -> None:
     reg._entries.setdefault("soa", SoACore)
 
 
-#: The four registries, by kind.  ``policies`` maps name -> policy class,
+#: The five registries, by kind.  ``policies`` maps name -> policy class,
 #: ``benchmarks`` maps name -> :class:`~repro.workloads.BenchmarkSpec`,
-#: ``scenarios`` maps name -> :class:`~repro.perf.Scenario`, and
+#: ``scenarios`` maps name -> :class:`~repro.perf.Scenario`,
 #: ``backends`` maps name -> engine core class
-#: (:class:`~repro.pipeline.SMTCore` subclasses).
+#: (:class:`~repro.pipeline.SMTCore` subclasses), and ``checkers`` maps
+#: name -> static-analysis checker callable (:mod:`repro.analysis`).
 policies = Registry("policy", _load_policies)
 benchmarks = Registry("benchmark", _load_benchmarks)
 scenarios = Registry("scenario", _load_scenarios)
 backends = Registry("backend", _load_backends)
+checkers = Registry("checker", _load_checkers)
 
 KINDS: dict[str, Registry] = {
     "policies": policies,
     "benchmarks": benchmarks,
     "scenarios": scenarios,
     "backends": backends,
+    "checkers": checkers,
 }
 
 #: Singular spellings accepted anywhere a kind is named (CLI included).
 _KIND_ALIASES = {"policy": "policies", "benchmark": "benchmarks",
-                 "scenario": "scenarios", "backend": "backends"}
+                 "scenario": "scenarios", "backend": "backends",
+                 "checker": "checkers"}
 
 
 def canonical_kind(kind: str) -> str:
@@ -195,7 +207,8 @@ def registry_for(kind: str) -> Registry:
     return KINDS[canonical_kind(kind)]
 
 
-def register(kind: str, name: str, obj: Any, *, overwrite: bool = False):
+def register(kind: str, name: str, obj: Any, *,
+             overwrite: bool = False) -> Any:
     """Register ``obj`` as ``name`` in the ``kind`` registry."""
     return registry_for(kind).register(name, obj, overwrite=overwrite)
 
@@ -217,6 +230,7 @@ __all__ = [
     "backends",
     "benchmarks",
     "canonical_kind",
+    "checkers",
     "get",
     "names",
     "policies",

@@ -1,0 +1,24 @@
+"""Known-bad fixture for determinism-lint (never imported, only parsed)."""
+
+import random
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def stamp2():
+    return datetime.now()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def spin(values):
+    total = 0
+    for v in {1, 2, 3}:
+        total += v
+    return [x for x in set(values)]

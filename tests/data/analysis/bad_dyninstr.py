@@ -1,0 +1,15 @@
+"""DynInstr half of the known-bad engine-parity fixture (parsed only).
+
+``mystery`` has no SoAView accessor — the slot would silently read as
+garbage through the struct-of-arrays view layer.
+"""
+
+
+class DynInstr:
+    __slots__ = ("seq", "mystery")
+
+
+class SoAView:
+    @property
+    def seq(self):
+        return 0

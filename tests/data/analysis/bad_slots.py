@@ -1,0 +1,30 @@
+"""Known-bad fixture for slots-lint (never imported, only parsed)."""
+
+
+class NoSlots:
+    """Missing __slots__ entirely."""
+
+    def __init__(self):
+        self.x = 1
+
+
+class WrongSlot:
+    """Declares __slots__ but assigns an undeclared attribute."""
+
+    __slots__ = ("a",)
+
+    def __init__(self):
+        self.a = 1
+        self.b = 2
+
+
+class ChildOfWrongSlot(WrongSlot):
+    """Inherited slots resolve; the extra write does not."""
+
+    __slots__ = ("c",)
+
+    def __init__(self):
+        super().__init__()
+        self.a = 3
+        self.c = 4
+        self.d = 5

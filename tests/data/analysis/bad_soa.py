@@ -1,0 +1,6 @@
+"""SoA half of the known-bad engine-parity fixture (parsed only)."""
+
+
+class SoACore:
+    def _commit(self, ts):
+        ts.stats.committed += 1

@@ -1,0 +1,6 @@
+"""Stats half of the known-bad engine-parity fixture (parsed only)."""
+
+
+class ThreadStats:
+    committed: int = 0
+    flushes: int = 0
