@@ -9,6 +9,7 @@ records the cycle stamp of every commit.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -107,13 +108,24 @@ def core_for(policy: FetchPolicy,
     used; ``object`` (the default) short-circuits to :class:`SMTCore`
     without touching the registry, so the common path stays
     import-cycle-free and pays no lookup.
+
+    With ``REPRO_SANITIZE`` set (see :mod:`repro.pipeline.sanitize`) the
+    stock engines are swapped for their checked subclasses — bit-exact,
+    slower, allocator invariants asserted.  The env probe is the only
+    cost when the knob is off; the sanitizer module is not even
+    imported.  Specialized cores bypass the sanitizer.
     """
     if policy.core_class is not None:
         return policy.core_class
     if backend == "object":
-        return SMTCore
-    from repro import registry      # lazy: registry sits above experiments
-    return registry.backends.get(backend)
+        cls = SMTCore
+    else:
+        from repro import registry  # lazy: registry sits above experiments
+        cls = registry.backends.get(backend)
+    if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+        from repro.pipeline.sanitize import checked_variant
+        cls = checked_variant(cls)
+    return cls
 
 
 def run_single(name: str, cfg: SMTConfig, max_commits: int,

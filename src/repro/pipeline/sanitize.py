@@ -1,0 +1,415 @@
+"""Opt-in runtime sanitizer for the engine allocation paths.
+
+``REPRO_SANITIZE=1`` makes :func:`repro.experiments.runner.core_for`
+return *checked* engine subclasses (:class:`CheckedSMTCore`,
+:class:`CheckedSoACore`) that wrap the two recycling allocators — the
+object engine's retired-``DynInstr`` pool and the SoA engine's arena
+free list — with the classic allocator-sanitizer checks:
+
+* **double-free** — returning a record/slot that is already pooled;
+* **use-after-free** — a pooled record reachable from live pipeline
+  state at a measurement boundary, or a pooled record whose pristine
+  invariants were mutated while on the free list (caught at both the
+  free and the re-allocation ends);
+* **leak at exit** — a SoA slot that is neither freed nor reachable
+  from any live root (front-end queues, windows, rename maps, event
+  wheels, waiter/old-map/parent edges, policy-held views) when
+  :meth:`~repro.pipeline.core.SMTCore.advance_to` returns;
+* **event-wheel monotonicity** — an armed calendar-queue entry dated
+  before the current cycle at the top of :meth:`step` (an event the
+  fast-forward probe skipped would silently never fire).
+
+The checked subclasses override :meth:`step`, which both engines'
+``_run_until`` detect and answer by driving the simulation generically
+(one ``step()`` call per cycle) instead of through their fused loops —
+so every cycle boundary is observable.  That makes sanitized runs
+slower, but still **bit-exact**: the golden matrix passes under
+``REPRO_SANITIZE=1`` on both backends, and the ``golden-sanitize`` CI
+leg holds it there.
+
+With the variable unset the module is never imported and the engines
+run their unchecked allocators — zero cost when off.
+
+Violations raise :class:`SanitizerError`, an ``AssertionError``
+subclass, so they fail tests loudly and are distinguishable from
+engine exceptions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.pipeline.core import SMTCore
+from repro.pipeline.dyninstr import F_FREED, SLOT_MASK, SoAView
+from repro.pipeline.soa import SoACore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.dyninstr import DynInstr
+
+#: Environment variable that switches the sanitizer on ("" / "0" = off).
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """The REPRO_SANITIZE knob (default off)."""
+    return os.environ.get(SANITIZE_ENV, "") not in ("", "0")
+
+
+class SanitizerError(AssertionError):
+    """An engine allocator invariant was violated under REPRO_SANITIZE."""
+
+
+def checked_variant(cls: type) -> type:
+    """The checked subclass for a stock engine class.
+
+    Specialized cores (runahead's ``core_class``) pass through
+    unchanged — they opt out of pooling anyway and own their driving
+    loops, so the allocator checks have nothing to attach to.
+    """
+    if cls is SMTCore:
+        return CheckedSMTCore
+    if cls is SoACore:
+        return CheckedSoACore
+    return cls
+
+
+# --------------------------------------------------------------------- #
+# event-wheel monotonicity (shared by both engines)
+# --------------------------------------------------------------------- #
+
+def _check_wheels(core: SMTCore, cycle: int) -> None:
+    """No armed calendar entry may be dated before the current cycle.
+
+    Buckets drain exactly at their own cycle and every fast-forward jump
+    is bounded by the armed marks, so an entry dated ``< cycle`` at the
+    top of ``step`` is an event that was skipped and will never fire.
+    """
+    for name in ("_ev_marks", "_dt_marks", "_wb_marks"):
+        marks = getattr(core, name)
+        if marks and marks[0] < cycle:
+            raise SanitizerError(
+                f"event wheel non-monotonic: {name}[0]={marks[0]} is "
+                f"before cycle {cycle} (skipped bucket)")
+    for name in ("_ev_over", "_dt_over"):
+        over = getattr(core, name)
+        if over and over[0][0] < cycle:
+            raise SanitizerError(
+                f"event wheel non-monotonic: {name} head due at "
+                f"{over[0][0]} is before cycle {cycle}")
+    wb_over = core._wb_over
+    if wb_over and wb_over[0] < cycle:
+        raise SanitizerError(
+            f"event wheel non-monotonic: _wb_over head due at "
+            f"{wb_over[0]} is before cycle {cycle}")
+
+
+# --------------------------------------------------------------------- #
+# object engine: checked DynInstr pool
+# --------------------------------------------------------------------- #
+
+def _assert_pristine_record(di: DynInstr, when: str) -> None:
+    """The pool-entry contract (the recycle guards, re-stated)."""
+    if not di.retired:
+        raise SanitizerError(
+            f"{when}: pooled DynInstr t{di.thread}#{di.seq} is not "
+            f"retired")
+    if di.refs:
+        raise SanitizerError(
+            f"{when}: pooled DynInstr t{di.thread}#{di.seq} still has "
+            f"refs={di.refs}")
+    if di.in_detects:
+        raise SanitizerError(
+            f"{when}: pooled DynInstr t{di.thread}#{di.seq} has a "
+            f"queued long-latency detection")
+
+
+class CheckedPool(list):
+    """A DynInstr free list that checks the recycle contract.
+
+    Drop-in for the plain list in ``SMTCore._di_pool`` (the engine only
+    ever calls ``append``/``pop``/``len``/truth on it).  Tracks pooled
+    object identities to catch double-frees at ``append`` and re-checks
+    the pristine contract at ``pop`` — a record mutated *while pooled*
+    is a use-after-free by whoever kept the reference.
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, items: Iterable = ()):
+        super().__init__(items)
+        self._ids = {id(di) for di in self}
+
+    def append(self, di: DynInstr) -> None:
+        ids = self._ids
+        if id(di) in ids:
+            raise SanitizerError(
+                f"double free: DynInstr t{di.thread}#{di.seq} returned "
+                f"to the pool twice")
+        _assert_pristine_record(di, "free")
+        ids.add(id(di))
+        super().append(di)
+
+    def pop(self, index: int = -1) -> DynInstr:
+        di = super().pop(index)
+        self._ids.discard(id(di))
+        _assert_pristine_record(di, "alloc (mutated while pooled)")
+        return di
+
+
+class CheckedSMTCore(SMTCore):
+    """Object engine with the DynInstr pool under sanitizer checks."""
+
+    __slots__ = ()
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        if self._di_pool is not None:
+            self._di_pool = CheckedPool(self._di_pool)
+
+    # Overriding step() makes _run_until drive the core generically —
+    # one observable call per cycle instead of the fused loop.
+    def step(self) -> None:
+        cycle = self.cycle
+        _check_wheels(self, cycle)
+        super().step()
+        if self.cycle <= cycle:
+            raise SanitizerError(
+                f"step() did not advance the cycle (stuck at {cycle})")
+
+    def advance_to(self, commits: int,
+                   max_cycles: int | None = None) -> bool:
+        done = super().advance_to(commits, max_cycles)
+        self.sanitize_check()
+        return done
+
+    def sanitize_check(self) -> None:
+        """Scan live pipeline state for pooled (freed) records."""
+        pool = self._di_pool
+        if not isinstance(pool, CheckedPool):
+            return
+        ids = pool._ids
+        if len(ids) != len(pool):
+            raise SanitizerError(
+                f"pool identity set out of sync: {len(ids)} ids for "
+                f"{len(pool)} pooled records")
+
+        def check(di: DynInstr, where: str) -> None:
+            if id(di) in ids:
+                raise SanitizerError(
+                    f"use after free: pooled DynInstr t{di.thread}"
+                    f"#{di.seq} still reachable from {where}")
+
+        for ts in self.threads:
+            for di in ts.fe_queue:
+                check(di, f"thread {ts.tid} fe_queue")
+            for di in ts.window:
+                check(di, f"thread {ts.tid} window")
+            for di in ts.rename_map:
+                if di is not None:
+                    check(di, f"thread {ts.tid} rename_map")
+            if ts.waiting_branch is not None:
+                check(ts.waiting_branch, f"thread {ts.tid} waiting_branch")
+            for di in ts.ll_owners:
+                check(di, f"thread {ts.tid} ll_owners")
+        for name in ("_ev_buckets", "_dt_buckets"):
+            for bucket in getattr(self, name):
+                if bucket:
+                    for di in bucket:
+                        check(di, name)
+        for name in ("_ev_over", "_dt_over"):
+            for entry in getattr(self, name):
+                check(entry[2], name)
+
+
+# --------------------------------------------------------------------- #
+# SoA engine: checked arena free list
+# --------------------------------------------------------------------- #
+
+def _assert_pristine_slot(core: SoACore, s: int, when: str) -> None:
+    """The free-list pristine-slot contract (the alloc path relies on
+    these columns being clear and does not re-write them)."""
+    for col, clear in (("_col_pending", 0), ("_col_refs", 0),
+                       ("_col_waiter0", -1), ("_col_waiters", None),
+                       ("_col_old_map", -1), ("_col_ll_parents", None),
+                       ("_col_fill_line", None), ("_col_views", None)):
+        value = getattr(core, col)[s]
+        if value is not clear and value != clear:
+            raise SanitizerError(
+                f"{when}: freed slot {s} is not pristine: "
+                f"{col}[{s}] == {value!r} (expected {clear!r})")
+
+
+class CheckedFreeList(list):
+    """An arena free list that checks the slot-recycling contract.
+
+    Drop-in for ``SoACore._free`` (the engine calls ``append``/``pop``/
+    ``extend``/truth).  Tracks membership to catch double-frees and
+    asserts the pristine-slot columns at both ends.  ``append`` must
+    *not* require ``F_FREED``: the commit path pushes the slot first and
+    folds the flag in with a merged store in the same cycle; by ``pop``
+    time the flag is always set, so the allocation end checks it.
+    """
+
+    __slots__ = ("_core", "_slots")
+
+    def __init__(self, core: SoACore, items: Iterable[int] = ()):
+        super().__init__(items)
+        self._core = core
+        self._slots = set(self)
+
+    def append(self, s: int) -> None:
+        slots = self._slots
+        if s in slots:
+            raise SanitizerError(f"double free: slot {s} returned to "
+                                 f"the arena free list twice")
+        _assert_pristine_slot(self._core, s, "free")
+        slots.add(s)
+        super().append(s)
+
+    def extend(self, items: Iterable[int]) -> None:
+        # _soa_grow: fresh slots, pristine and F_FREED by construction.
+        items = list(items)
+        self._slots.update(items)
+        super().extend(items)
+
+    def pop(self, index: int = -1) -> int:
+        s = super().pop(index)
+        self._slots.discard(s)
+        core = self._core
+        if not core._col_flags[s] & F_FREED:
+            raise SanitizerError(
+                f"alloc: slot {s} came off the free list without "
+                f"F_FREED set")
+        _assert_pristine_slot(core, s, "alloc (mutated while freed)")
+        return s
+
+
+def _iter_views(obj: Any, depth: int = 0) -> Iterator[SoAView]:
+    """Every SoAView reachable through plain containers (bounded)."""
+    if isinstance(obj, SoAView):
+        yield obj
+    elif depth < 4:
+        if isinstance(obj, dict):
+            for k, v in obj.items():
+                yield from _iter_views(k, depth + 1)
+                yield from _iter_views(v, depth + 1)
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            for v in obj:
+                yield from _iter_views(v, depth + 1)
+
+
+class CheckedSoACore(SoACore):
+    """SoA engine with the arena free list under sanitizer checks."""
+
+    __slots__ = ()
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._free = CheckedFreeList(self, self._free)
+
+    def step(self) -> None:
+        cycle = self.cycle
+        _check_wheels(self, cycle)
+        super().step()
+        if self.cycle <= cycle:
+            raise SanitizerError(
+                f"step() did not advance the cycle (stuck at {cycle})")
+
+    def advance_to(self, commits: int,
+                   max_cycles: int | None = None) -> bool:
+        done = super().advance_to(commits, max_cycles)
+        self.sanitize_check()
+        return done
+
+    def sanitize_check(self) -> None:
+        """Free-list/flag consistency plus the leak-at-exit scan."""
+        free = self._free
+        if not isinstance(free, CheckedFreeList):
+            return
+        flags = self._col_flags
+        free_slots = free._slots
+        if len(free_slots) != len(free):
+            raise SanitizerError(
+                f"free list holds duplicates: {len(free)} entries, "
+                f"{len(free_slots)} distinct slots")
+        for s in free_slots:
+            if not flags[s] & F_FREED:
+                raise SanitizerError(
+                    f"slot {s} is on the free list without F_FREED")
+        live = self._live_slots()
+        for s in range(self._capacity):
+            if flags[s] & F_FREED:
+                if s not in free_slots:
+                    raise SanitizerError(
+                        f"slot {s} has F_FREED but is not on the free "
+                        f"list (lost to the allocator)")
+            elif s not in live:
+                raise SanitizerError(
+                    f"leak: slot {s} (t{self._col_thread[s]}"
+                    f"#{self._col_seq[s]}) is neither freed nor "
+                    f"reachable from any live root")
+
+    def _live_slots(self) -> set[int]:
+        """Slots reachable from the live roots, transitively."""
+        cap = self._capacity
+        packed_col = self._col_packed
+        live: set[int] = set()
+        pend: list[int] = []
+
+        def add(s: int) -> None:
+            if 0 <= s < cap and s not in live:
+                live.add(s)
+                pend.append(s)
+
+        def add_packed(p: int) -> None:
+            s = p & SLOT_MASK
+            if 0 <= s < cap and packed_col[s] == p:
+                add(s)
+
+        for ts in self.threads:
+            for s in ts.fe_queue:
+                add(s)
+            for s in ts.window:
+                add(s)
+            for s in ts.rename_map:
+                if s >= 0:
+                    add(s)
+            if ts.waiting_branch is not None:
+                add(ts.waiting_branch)
+            for view in _iter_views(ts.ll_owners):
+                add(view._slot)
+            for view in _iter_views(ts.policy_data):
+                add(view._slot)
+        for name in ("_ev_buckets", "_dt_buckets"):
+            for bucket in getattr(self, name):
+                if bucket:
+                    for p in bucket:
+                        add_packed(p)
+        for name in ("_ev_over", "_dt_over"):
+            for entry in getattr(self, name):
+                add_packed(entry[1])
+        for queue in (self._ready_int, self._ready_ldst, self._ready_fp):
+            for p in queue:
+                add_packed(p)
+        old_map = self._col_old_map
+        waiter0 = self._col_waiter0
+        waiters = self._col_waiters
+        ll_parents = self._col_ll_parents
+        while pend:
+            s = pend.pop()
+            if old_map[s] >= 0:
+                add(old_map[s])
+            w0 = waiter0[s]
+            if w0 != -1:
+                add_packed(w0)
+            wl = waiters[s]
+            if wl is not None:
+                for w in wl:
+                    add_packed(w)
+            ps = ll_parents[s]
+            if ps is not None:
+                for p in ps:
+                    add(p)
+        return live

@@ -20,8 +20,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 import os
 
-#: The environment knobs the repro.jobs engine reads (see repro/jobs/store.py).
-ENV_KEYS = ("REPRO_CACHE_DIR", "REPRO_CACHE", "REPRO_JOBS")
+#: The environment knobs the repro engines read: the repro.jobs store
+#: (repro/jobs/store.py) plus the runtime sanitizer switch
+#: (repro/pipeline/sanitize.py).
+ENV_KEYS = ("REPRO_CACHE_DIR", "REPRO_CACHE", "REPRO_JOBS",
+            "REPRO_SANITIZE")
 
 
 @contextmanager
