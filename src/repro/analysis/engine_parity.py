@@ -68,6 +68,25 @@ def _hooks_used(tree: ast.Module) -> set[str]:
     return used
 
 
+def _hooks_used_c(text: str) -> set[str]:
+    """Hook call sites in the C engine source (text scan, not AST).
+
+    The compiled loop reaches each hook through the same artifacts the
+    Python engines use — the ``_policy_*`` elision slots (resolved by
+    name in its offset table) and the literal hook attribute names it
+    interns — so their spellings appearing in the source *is* the
+    call-site set.
+    """
+    used: set[str] = set()
+    for attr, hook in POLICY_ATTR_HOOKS.items():
+        if f'"{attr}"' in text:
+            used.add(hook)
+    for hook in HOOKS:
+        if f'"{hook}"' in text:
+            used.add(hook)
+    return used
+
+
 def _stat_fields(stats_tree: ast.Module) -> set[str]:
     """All dataclass field names of stats.py (the stat universe)."""
     fields: set[str] = set()
@@ -173,12 +192,16 @@ def _dyninstr_slots(tree: ast.Module) -> list[str]:
 def check(core_path: Path | None = None,
           soa_path: Path | None = None,
           dyninstr_path: Path | None = None,
-          stats_path: Path | None = None) -> list[Finding]:
+          stats_path: Path | None = None,
+          cext_path: Path | None = None,
+          cext_c_path: Path | None = None) -> list[Finding]:
     """Run engine-parity-lint (default: the real pipeline modules)."""
     core_path = core_path or _PIPELINE / "core.py"
     soa_path = soa_path or _PIPELINE / "soa.py"
     dyninstr_path = dyninstr_path or _PIPELINE / "dyninstr.py"
     stats_path = stats_path or _PIPELINE / "stats.py"
+    cext_path = cext_path or _PIPELINE / "cext.py"
+    cext_c_path = cext_c_path or _PIPELINE / "_cext_engine.c"
     core_tree = parse_file(core_path)
     soa_tree = parse_file(soa_path)
     findings: list[Finding] = []
@@ -196,6 +219,25 @@ def check(core_path: Path | None = None,
             CHECKER, rel(core_path), 1,
             f"policy hook {hook!r} is invoked by {rel(soa_path)} but "
             f"never by the object engine"))
+
+    # 1b. hook parity for the compiled backend: the cext driver + the C
+    # engine together must reach exactly the hooks the object engine
+    # does.  (The driver's Python side contributes the elision markers
+    # it caches; the C side contributes every offset-table/interned
+    # call site.)
+    if cext_path.exists() and cext_c_path.exists():
+        cext_hooks = (_hooks_used(parse_file(cext_path))
+                      | _hooks_used_c(cext_c_path.read_text()))
+        for hook in sorted(core_hooks - cext_hooks):
+            findings.append(Finding(
+                CHECKER, rel(cext_c_path), 1,
+                f"policy hook {hook!r} is invoked by {rel(core_path)} "
+                f"but never by the cext backend"))
+        for hook in sorted(cext_hooks - core_hooks):
+            findings.append(Finding(
+                CHECKER, rel(core_path), 1,
+                f"policy hook {hook!r} is invoked by the cext backend "
+                f"but never by the object engine"))
 
     # 2. stat-write parity over the replaced methods
     universe = _stat_fields(parse_file(stats_path))

@@ -514,6 +514,58 @@ def cmd_perf_profile(args) -> int:
     return 0
 
 
+def cmd_perf_duel(args) -> int:
+    from repro import perf
+
+    names = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    if len(names) != 2:
+        raise SystemExit(
+            f"perf duel: --backends takes exactly two comma-separated "
+            f"names, got {args.backends!r}")
+    for backend in names:
+        if backend not in registry.backends:
+            raise SystemExit(
+                f"perf duel: unknown backend {backend!r}; "
+                f"see `python -m repro list backends`")
+    try:
+        sc = perf.scenario_by_name(args.scenario)
+    except KeyError:
+        raise SystemExit(
+            f"perf duel: unknown scenario {args.scenario!r}; "
+            f"see `python -m repro list scenarios`") from None
+    try:
+        result = perf.duel(sc, (names[0], names[1]), rounds=args.rounds,
+                           quick=args.quick)
+    except ValueError as exc:
+        raise SystemExit(f"perf duel: {exc}") from exc
+    a, b = result.backends
+    if args.json:
+        import json as _json
+        doc = {
+            "scenario": result.name,
+            "backends": list(result.backends),
+            "rounds": result.rounds,
+            "quick": result.quick,
+            "samples_s": {k: [round(t, 6) for t in v]
+                          for k, v in result.samples.items()},
+            "best_s": {k: round(result.best(k), 6)
+                       for k in result.backends},
+            "ratio": round(result.ratio, 3),
+        }
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        mode = "quick" if result.quick else "full"
+        print(f"duel: {result.name} ({mode}, best of {result.rounds}, "
+              f"interleaved order-fair, gc.collect() between samples)")
+        for backend in result.backends:
+            runs = " ".join(f"{t:.3f}" for t in result.samples[backend])
+            print(f"  {backend:>8}: best {result.best(backend):.3f}s  "
+                  f"[{runs}]")
+        print(f"  {b} is {result.ratio:.2f}x vs {a} "
+              f"(best-of-{result.rounds} wall ratio)")
+    return 0
+
+
 def cmd_perf_update(args) -> int:
     perf, suite, _json = _perf_suite(args)
     path = perf.write_baseline(suite, args.baseline)
@@ -665,6 +717,22 @@ def build_parser() -> argparse.ArgumentParser:
     _perf_common(q)
     q.add_argument("--baseline", help="write here instead of the repo root")
     q.set_defaults(fn=cmd_perf_update)
+    q = psub.add_parser(
+        "duel",
+        help="order-fair A/B wall-clock duel of one scenario on two "
+             "backends")
+    q.add_argument("scenario",
+                   help="scenario name; see `repro list scenarios`")
+    q.add_argument("--backends", default="object,cext",
+                   metavar="A,B",
+                   help="the two engines to race (default: object,cext)")
+    q.add_argument("-n", "--rounds", type=int, default=5,
+                   help="timed samples per backend (default 5)")
+    q.add_argument("--quick", action="store_true",
+                   help="reduced budgets (CI smoke mode)")
+    q.add_argument("--json", action="store_true",
+                   help="emit the samples/ratio as JSON")
+    q.set_defaults(fn=cmd_perf_duel)
     q = psub.add_parser(
         "profile",
         help="cProfile one scenario (prime run, then top-N frames)")

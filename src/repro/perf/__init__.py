@@ -23,8 +23,10 @@ from repro.perf.baselines import (
 )
 from repro.perf.harness import (
     BenchResult,
+    DuelResult,
     SuiteResult,
     calibrate,
+    duel,
     run_suite,
     time_scenario,
 )
@@ -51,6 +53,7 @@ __all__ = [
     "BaselineError",
     "BenchResult",
     "CompareReport",
+    "DuelResult",
     "PROFILE_SORTS",
     "ProfileReport",
     "Scenario",
@@ -59,6 +62,7 @@ __all__ = [
     "baseline_path",
     "calibrate",
     "compare",
+    "duel",
     "format_report",
     "load_baseline",
     "mode_name",

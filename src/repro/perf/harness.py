@@ -13,6 +13,7 @@ measurements are compared.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+import gc
 import time
 
 from repro.perf.scenarios import CANONICAL_SCENARIOS, Scenario, run_scenario
@@ -87,6 +88,60 @@ def time_scenario(sc: Scenario, repeats: int = 3, quick: bool = False,
         instructions=instructions, quick=quick, policy=sc.policy,
         threads=sc.num_threads, commits=sc.budget(quick),
         backend=backend)
+
+
+@dataclass
+class DuelResult:
+    """Order-fair A/B timing of one scenario on two backends.
+
+    The methodology perf/PROFILE.md's backend comparisons established,
+    promoted from hand-run heredocs: both backends are primed untimed,
+    then ``rounds`` alternations are timed with the *starting* backend
+    swapped each round (so neither side systematically inherits a warmer
+    cache) and a ``gc.collect()`` before every sample (so no sample pays
+    for the other's garbage).  Best-of-N is the headline: the run least
+    disturbed by scheduler noise, same rationale as :func:`time_scenario`.
+    """
+
+    name: str
+    backends: tuple[str, str]
+    samples: dict[str, list[float]]   # per backend, in sampling order
+    quick: bool
+    rounds: int
+
+    def best(self, backend: str) -> float:
+        return min(self.samples[backend])
+
+    @property
+    def ratio(self) -> float:
+        """Best-of-N wall of the first backend over the second.
+
+        ``> 1`` means the second backend is faster (``ratio`` times).
+        """
+        a, b = self.backends
+        best_b = self.best(b)
+        return self.best(a) / best_b if best_b else float("inf")
+
+
+def duel(sc: Scenario, backends: tuple[str, str], rounds: int = 5,
+         quick: bool = False) -> DuelResult:
+    """Interleaved order-fair best-of-``rounds`` backend comparison."""
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    a, b = backends
+    if a == b:
+        raise ValueError(f"duel needs two distinct backends, got {a!r}")
+    for backend in (a, b):          # priming runs (untimed)
+        run_scenario(sc, quick=quick, backend=backend)
+    samples: dict[str, list[float]] = {a: [], b: []}
+    for rnd in range(rounds):
+        for backend in ((a, b) if rnd % 2 == 0 else (b, a)):
+            gc.collect()
+            t0 = time.perf_counter()
+            run_scenario(sc, quick=quick, backend=backend)
+            samples[backend].append(time.perf_counter() - t0)
+    return DuelResult(name=sc.name, backends=(a, b), samples=samples,
+                      quick=quick, rounds=rounds)
 
 
 @dataclass

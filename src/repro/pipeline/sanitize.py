@@ -41,6 +41,7 @@ from collections.abc import Iterable, Iterator
 import os
 from typing import TYPE_CHECKING, Any
 
+from repro.pipeline.cext import CextCore
 from repro.pipeline.core import SMTCore
 from repro.pipeline.dyninstr import F_FREED, SLOT_MASK, SoAView
 from repro.pipeline.soa import SoACore
@@ -72,6 +73,8 @@ def checked_variant(cls: type) -> type:
         return CheckedSMTCore
     if cls is SoACore:
         return CheckedSoACore
+    if cls is CextCore:
+        return CheckedCextCore
     return cls
 
 
@@ -300,8 +303,17 @@ def _iter_views(obj: Any, depth: int = 0) -> Iterator[SoAView]:
                 yield from _iter_views(v, depth + 1)
 
 
-class CheckedSoACore(SoACore):
-    """SoA engine with the arena free list under sanitizer checks."""
+class _CheckedArenaMixin(SoACore):
+    """The arena-sanitizer behavior, shared by every SoA-layout engine.
+
+    Mixed in front of :class:`SoACore` (and :class:`CextCore`, whose
+    state layout is identical).  Overriding :meth:`step` is the whole
+    activation mechanism: both fused drivers — the Python one in
+    ``SoACore._run_until`` and the compiled one behind
+    ``CextCore._run_until`` — detect the override and fall back to the
+    generic one-``step()``-per-cycle loop, so sanitized runs never enter
+    an unchecked fast path (compiled or not).
+    """
 
     __slots__ = ()
 
@@ -413,3 +425,23 @@ class CheckedSoACore(SoACore):
                 for p in ps:
                     add(p)
         return live
+
+
+class CheckedSoACore(_CheckedArenaMixin):
+    """SoA engine with the arena free list under sanitizer checks."""
+
+    __slots__ = ()
+
+
+class CheckedCextCore(_CheckedArenaMixin, CextCore):
+    """The ``cext`` backend under ``REPRO_SANITIZE=1``.
+
+    The state layout is exactly the SoA engine's, so the same arena
+    checks apply verbatim.  The :meth:`step` override (from the mixin)
+    makes ``CextCore._run_until`` refuse its compiled loop and drive the
+    simulation through checked per-cycle steps instead — a sanitized
+    ``cext`` run is a sanitized ``soa`` run, never a silently unchecked
+    compiled one.
+    """
+
+    __slots__ = ()

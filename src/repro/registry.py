@@ -160,10 +160,17 @@ def _load_backends(reg: Registry) -> None:
     # architectural outcome, different in-memory representation).  A
     # policy's ``core_class`` (e.g. runahead) always takes precedence
     # over the selected backend — see ``repro.experiments.runner``.
+    # ``cext`` is the compiled C-extension loop over the same columns; it
+    # registers only when the lazy toolchain probe + build succeed, so on
+    # a compiler-less host the table simply lists two entries.
     from repro.pipeline import SMTCore
+    from repro.pipeline.cext import load_cext_core
     from repro.pipeline.soa import SoACore
     reg._entries.setdefault("object", SMTCore)
     reg._entries.setdefault("soa", SoACore)
+    cext_core = load_cext_core()
+    if cext_core is not None:
+        reg._entries.setdefault("cext", cext_core)
 
 
 #: The five registries, by kind.  ``policies`` maps name -> policy class,

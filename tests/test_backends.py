@@ -21,10 +21,18 @@ from repro.experiments.runner import core_for
 from repro.jobs import JobSpec
 from repro.perf.baselines import BaselineError, mode_name, validate_doc
 from repro.pipeline import SMTCore, SoACore
+from repro.pipeline import cext as cext_mod
+from repro.pipeline.cext import CextCore, cext_status, load_cext_core
 from repro.policies import make_policy
 from repro.runahead import RunaheadCore
 
 CFG2 = scaled_config(num_threads=2, scale=16)
+
+#: The compiled backend exists only where the lazy toolchain probe and
+#: build succeed; everything cext-specific is gated on this.
+_CEXT_BUILDABLE = load_cext_core() is not None
+needs_cext = pytest.mark.skipif(
+    not _CEXT_BUILDABLE, reason="cext backend not buildable here")
 
 
 def _spec(backend="object", **kw):
@@ -50,6 +58,45 @@ class TestRegistry:
         with pytest.raises(registry.RegistryError) as exc:
             registry.backends.get("simd")
         assert "soa" in str(exc.value)
+
+
+class TestCextRegistration:
+    @needs_cext
+    def test_registered_when_buildable(self):
+        assert "cext" in registry.backends
+        assert registry.backends.get("cext") is CextCore
+        assert issubclass(CextCore, SoACore)
+        assert cext_status().startswith("available")
+
+    @needs_cext
+    def test_core_resolution(self):
+        assert core_for(make_policy("mlp_flush"), "cext") is CextCore
+        # A policy-owned core still beats the requested backend.
+        assert core_for(make_policy("runahead"), "cext") is RunaheadCore
+
+    def test_disabled_probe_omits_the_entry(self, monkeypatch):
+        # Simulate a toolchain-less host: with the probe reporting
+        # unavailable, a fresh backends registry lists exactly the two
+        # pure-Python engines and load_cext_core() degrades to None
+        # without raising.
+        monkeypatch.setenv("REPRO_CEXT", "0")
+        monkeypatch.setattr(cext_mod, "_state", None)
+        assert load_cext_core() is None
+        assert cext_status() == "unavailable: disabled by REPRO_CEXT=0"
+        fresh = registry.Registry("backend", registry._load_backends)
+        assert fresh.names() == ("object", "soa")
+        monkeypatch.setattr(cext_mod, "_state", None)  # re-probe later
+
+    @needs_cext
+    def test_driver_falls_back_without_engine(self, monkeypatch):
+        # Belt and braces: a CextCore instantiated while the engine is
+        # unavailable must still simulate (via the SoA loop), because a
+        # spec naming the backend can outlive the probe result.
+        from repro.perf.golden import golden_matrix, snapshot_cell
+        cell = min(golden_matrix(), key=lambda sc: sc.num_threads)
+        expected = snapshot_cell(cell, backend="soa")
+        monkeypatch.setattr(cext_mod, "_state", (None, "forced off"))
+        assert snapshot_cell(cell, backend="cext") == expected
 
 
 class TestCoreResolution:
@@ -132,6 +179,16 @@ class TestHashStability:
         # run under the object key would mask an equivalence regression.
         assert _spec(backend="soa").content_hash() != self._PINNED
 
+    @needs_cext
+    def test_cext_hash_is_its_own_and_stable(self):
+        # Its own cache key (never aliases another backend's results)
+        # and a pure function of the spec document — the toolchain,
+        # compiler version, and probe outcome must not leak into it.
+        h = _spec(backend="cext").content_hash()
+        assert h != self._PINNED
+        assert h != _spec(backend="soa").content_hash()
+        assert h == _spec(backend="cext").content_hash()
+
     @pytest.mark.parametrize("backend", ["object", "soa"])
     def test_content_hash_matches_jobspec_cache_key(self, backend):
         spec = _spec(backend=backend)
@@ -144,6 +201,8 @@ class TestBaselineModes:
         assert mode_name(True) == "quick"
         assert mode_name(False, "soa") == "full-soa"
         assert mode_name(True, "soa") == "quick-soa"
+        assert mode_name(False, "cext") == "full-cext"
+        assert mode_name(True, "cext") == "quick-cext"
 
     def test_validate_accepts_suffixed_modes(self):
         entry = {"wall_s": 1.0, "cycles": 10, "instructions": 5}
@@ -208,6 +267,18 @@ class TestExecutionEquivalence:
         # reuses the object run's cached CPI_ST cells.
         assert session.last_report.baselines_cached == 2
         assert session.last_report.baselines_executed == 0
+
+    @needs_cext
+    def test_simulate_matches_on_cext(self):
+        stats_o, core_o = Session(store=None).simulate(self._small("object"))
+        stats_c, core_c = Session(store=None).simulate(self._small("cext"))
+        assert type(core_c) is CextCore
+        assert stats_o.cycles == stats_c.cycles
+        assert [t.committed for t in stats_o.threads] == \
+            [t.committed for t in stats_c.threads]
+        assert [t.fetched for t in stats_o.threads] == \
+            [t.fetched for t in stats_c.threads]
+        assert stats_o.total_ipc == stats_c.total_ipc
 
     def test_iter_intervals_is_backend_independent(self):
         session = Session(store=None)

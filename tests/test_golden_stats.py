@@ -8,10 +8,11 @@ stall counters bit-for-bit.  A diff here means a hot-loop "optimization"
 changed architectural behavior — that is a bug, not a baseline refresh,
 unless the change to the timing model was intentional and reviewed.
 
-Every cell runs under *both* selectable engine backends (``object`` and
-``soa``): one fixture is the cycle-exactness contract that licenses
-picking a backend per :class:`repro.api.RunSpec` without touching
-result semantics.
+Every cell runs under *all* selectable engine backends (``object`` and
+``soa`` always; the compiled ``cext`` when the host toolchain can build
+it): one fixture is the cycle-exactness contract that licenses picking
+a backend per :class:`repro.api.RunSpec` without touching result
+semantics.
 """
 
 from __future__ import annotations
@@ -26,6 +27,10 @@ from repro.perf.golden import (
     golden_matrix,
     snapshot_cell,
 )
+from repro.pipeline.cext import load_cext_core
+
+_BACKENDS = ("object", "soa") + (
+    ("cext",) if load_cext_core() is not None else ())
 
 _FIXTURE = Path(__file__).parent / "golden" / "golden_stats.json"
 
@@ -46,7 +51,7 @@ def test_fixture_covers_matrix():
         "regenerate with `python -m repro.perf.golden`")
 
 
-@pytest.mark.parametrize("backend", ("object", "soa"))
+@pytest.mark.parametrize("backend", _BACKENDS)
 @pytest.mark.parametrize("cell", sorted(_MATRIX), ids=str)
 def test_golden_cell(cell, backend):
     expected = _load_fixture()["cells"][cell]
